@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's figures or implied
+quantitative claims (see DESIGN.md §3 and EXPERIMENTS.md).  Benchmarks
+both *measure* (via pytest-benchmark) and *assert the shape* of each
+result — who wins, what gets certified, what blows up.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def print_table(
+    title: str, header: Sequence[str], rows: Iterable[Sequence[object]]
+) -> None:
+    """Print an aligned results table (visible with ``-s``)."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(header))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def bench_once(benchmark, fn):
+    """Run a whole scenario exactly once under pytest-benchmark.
+
+    Shape/table scenarios do real work (exhaustive exploration, corpus
+    sweeps); one timed round keeps them visible in ``--benchmark-only``
+    runs without repeating minutes of computation.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,117 @@
+"""Practical layer — bounded confirmation of possible-deadlock reports.
+
+Measures the cost and outcome distribution of escalating the refined
+algorithm's alarms to a bounded exact search: real deadlocks get
+concrete witnesses, false alarms get refuted, and the combination
+yields an end-to-end pipeline that is exact whenever the wave space
+fits the budget and conservative otherwise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import bench_once, print_table
+from repro.analysis.confirm import (
+    ConfirmationOutcome,
+    confirm_deadlock_report,
+)
+from repro.analysis.refined import refined_deadlock_analysis
+from repro.syncgraph.build import build_sync_graph
+from repro.transforms.unroll import remove_loops
+from repro.workloads.patterns import (
+    barrier,
+    client_server,
+    crossed_pair,
+    dining_philosophers,
+)
+from repro.workloads.random_programs import (
+    RandomProgramConfig,
+    random_program,
+)
+
+
+def _corpus():
+    programs = [
+        crossed_pair(),
+        dining_philosophers(3, True),
+        dining_philosophers(3, False),
+        client_server(2, 1, shared_reply=True),
+        barrier(3, 1),
+    ]
+    cfg = RandomProgramConfig(tasks=3, statements_per_task=3, branch_prob=0.2)
+    for seed in range(20):
+        program, _ = remove_loops(random_program(cfg, seed=seed))
+        programs.append(program)
+    return [(p, build_sync_graph(p)) for p in programs]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return _corpus()
+
+
+def test_confirmation_cost(corpus, benchmark):
+    def run_all():
+        outcomes = []
+        for _, graph in corpus:
+            report = refined_deadlock_analysis(graph)
+            outcomes.append(
+                confirm_deadlock_report(graph, report, state_limit=50_000)
+            )
+        return outcomes
+
+    outcomes = benchmark(run_all)
+    assert len(outcomes) == len(corpus)
+
+
+def test_outcome_distribution(corpus, benchmark):
+    def scenario():
+        tally = {
+            ConfirmationOutcome.NOT_NEEDED: 0,
+            ConfirmationOutcome.CONFIRMED: 0,
+            ConfirmationOutcome.REFUTED: 0,
+            ConfirmationOutcome.INCONCLUSIVE: 0,
+        }
+        witness_lengths = []
+        for _, graph in corpus:
+            report = refined_deadlock_analysis(graph)
+            confirmed = confirm_deadlock_report(
+                graph, report, state_limit=50_000
+            )
+            tally[confirmed.outcome] += 1
+            if confirmed.witness is not None:
+                witness_lengths.append(len(confirmed.witness.schedule))
+        print_table(
+            "Confirmation pass over 25 programs",
+            ["outcome", "count"],
+            sorted(tally.items()),
+        )
+        # shape: the pass settles every report within this budget
+        assert tally[ConfirmationOutcome.INCONCLUSIVE] == 0
+        assert tally[ConfirmationOutcome.CONFIRMED] >= 2
+        assert tally[ConfirmationOutcome.REFUTED] >= 1
+        if witness_lengths:
+            assert min(witness_lengths) >= 0
+
+    bench_once(benchmark, scenario)
+
+
+def test_end_to_end_exactness_within_budget(corpus, benchmark):
+    """refined + confirmation == exact, whenever the budget suffices."""
+    from repro.waves.explore import explore
+
+    def scenario():
+        for _, graph in corpus:
+            report = refined_deadlock_analysis(graph)
+            confirmed = confirm_deadlock_report(
+                graph, report, state_limit=50_000
+            )
+            exact = explore(graph, state_limit=50_000).has_deadlock
+            final_says_deadlock = (
+                confirmed.outcome == ConfirmationOutcome.CONFIRMED
+            )
+            if confirmed.outcome != ConfirmationOutcome.INCONCLUSIVE:
+                assert final_says_deadlock == exact
+
+    bench_once(benchmark, scenario)

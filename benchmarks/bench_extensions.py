@@ -1,0 +1,116 @@
+"""E12 — §4.2 extensions: the accuracy/cost spectrum.
+
+The paper lists four strategies "forming a spectrum of tradeoffs of
+accuracy versus execution time".  This benchmark measures both axes on
+a common corpus: hypothesis counts and wall time rise from single heads
+to combined pairs, while the certified fraction (accuracy) never drops.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _util import bench_once, print_table
+from repro.analysis.extensions import (
+    combined_pairs_analysis,
+    head_pairs_analysis,
+    head_tail_analysis,
+    k_pairs_analysis,
+)
+from repro.analysis.refined import refined_deadlock_analysis
+from repro.errors import ExplorationLimitError
+from repro.syncgraph.build import build_sync_graph
+from repro.transforms.unroll import remove_loops
+from repro.waves.explore import explore
+from repro.workloads.corpus import paper_corpus
+from repro.workloads.patterns import handshake_chain, pipeline
+from repro.workloads.random_programs import (
+    RandomProgramConfig,
+    random_program,
+)
+
+VARIANTS = [
+    ("refined", refined_deadlock_analysis),
+    ("head-pairs", head_pairs_analysis),
+    ("head-tail", head_tail_analysis),
+    ("combined-pairs", combined_pairs_analysis),
+    ("k-pairs-3", lambda g: k_pairs_analysis(g, k=3)),
+]
+
+
+def _corpus():
+    graphs = []
+    for entry in paper_corpus().values():
+        program, _ = remove_loops(entry.program)
+        graphs.append(build_sync_graph(program))
+    graphs.append(build_sync_graph(pipeline(4, 2)))
+    graphs.append(build_sync_graph(handshake_chain(4, 2)))
+    cfg = RandomProgramConfig(tasks=3, statements_per_task=3, branch_prob=0.2)
+    for seed in range(15):
+        program, _ = remove_loops(random_program(cfg, seed=seed))
+        graphs.append(build_sync_graph(program))
+    return graphs
+
+
+@pytest.fixture(scope="module")
+def corpus_graphs():
+    return _corpus()
+
+
+@pytest.fixture(scope="module")
+def exact_labels(corpus_graphs):
+    labels = []
+    for graph in corpus_graphs:
+        try:
+            labels.append(explore(graph, state_limit=50_000).has_deadlock)
+        except ExplorationLimitError:
+            labels.append(None)
+    return labels
+
+
+@pytest.mark.parametrize("name,variant", VARIANTS, ids=[n for n, _ in VARIANTS])
+def test_variant_cost(name, variant, corpus_graphs, benchmark):
+    def run_all():
+        return [variant(g).deadlock_free for g in corpus_graphs]
+
+    verdicts = benchmark(run_all)
+    assert len(verdicts) == len(corpus_graphs)
+
+
+def test_spectrum_table(corpus_graphs, exact_labels, benchmark):
+    def scenario():
+        rows = []
+        certified_counts = {}
+        for name, variant in VARIANTS:
+            t0 = time.perf_counter()
+            reports = [variant(g) for g in corpus_graphs]
+            elapsed = time.perf_counter() - t0
+            certified = sum(r.deadlock_free for r in reports)
+            hypotheses = sum(r.heads_examined for r in reports)
+            # safety against exact labels where known
+            for report, label in zip(reports, exact_labels):
+                if label is True:
+                    assert not report.deadlock_free, name
+            certified_counts[name] = certified
+            rows.append(
+                (
+                    name,
+                    hypotheses,
+                    f"{elapsed * 1e3:.1f}",
+                    certified,
+                    len(corpus_graphs),
+                )
+            )
+        print_table(
+            "E12: extension spectrum (accuracy vs cost)",
+            ["variant", "hypotheses", "total ms", "certified", "programs"],
+            rows,
+        )
+        # accuracy (certified count) never drops relative to base refined
+        base = certified_counts["refined"]
+        for name, _ in VARIANTS[1:]:
+            assert certified_counts[name] >= base
+
+    bench_once(benchmark, scenario)

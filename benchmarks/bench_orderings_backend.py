@@ -1,0 +1,89 @@
+"""Ablation — ordering-framework backends: sparse sets vs dense numpy.
+
+Both backends compute the identical prefix-sound REL fixpoint.  The
+benchmark records which one wins on which graph shape: long chains
+(pipelines) favour the incremental sparse sets; fan-in graphs with many
+partners per signal narrow the gap.  Equivalence of the outputs is
+asserted on every measured graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import bench_once, print_table
+from repro.analysis.orderings import compute_orderings
+from repro.analysis.orderings_matrix import compute_orderings_matrix
+from repro.lang.ast_nodes import Accept, Program, Send, TaskDecl
+from repro.syncgraph.build import build_sync_graph
+from repro.workloads.patterns import handshake_chain, pipeline
+
+
+def fanin_heavy(groups: int, senders: int) -> Program:
+    """``groups`` accept tasks, each receiving from ``senders`` tasks.
+
+    Every signal has ``senders`` send nodes — the many-partner shape
+    that stresses the partner-intersection clause.
+    """
+    tasks = []
+    for g in range(groups):
+        tasks.append(
+            TaskDecl(
+                name=f"acc{g}",
+                body=tuple(Accept(message="m") for _ in range(senders)),
+            )
+        )
+    for s in range(senders):
+        body = tuple(Send(task=f"acc{g}", message="m") for g in range(groups))
+        tasks.append(TaskDecl(name=f"snd{s}", body=body))
+    return Program(name=f"fanin_{groups}x{senders}", tasks=tuple(tasks))
+
+
+GRAPH_FACTORIES = {
+    "pipeline_20x3": lambda: pipeline(20, 3),
+    "chain_10x3": lambda: handshake_chain(10, 3),
+    "fanin_4x6": lambda: fanin_heavy(4, 6),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GRAPH_FACTORIES))
+def test_sparse_backend(name, benchmark):
+    graph = build_sync_graph(GRAPH_FACTORIES[name]())
+    benchmark(compute_orderings, graph)
+
+
+@pytest.mark.parametrize("name", sorted(GRAPH_FACTORIES))
+def test_matrix_backend(name, benchmark):
+    graph = build_sync_graph(GRAPH_FACTORIES[name]())
+    benchmark(compute_orderings_matrix, graph)
+
+
+def test_backends_agree_and_report(benchmark):
+    def scenario():
+        import time
+
+        rows = []
+        for name, factory in sorted(GRAPH_FACTORIES.items()):
+            graph = build_sync_graph(factory())
+            t0 = time.perf_counter()
+            sparse = compute_orderings(graph)
+            t1 = time.perf_counter()
+            dense = compute_orderings_matrix(graph)
+            t2 = time.perf_counter()
+            assert sparse.precedes == dense.precedes, name
+            rows.append(
+                (
+                    name,
+                    len(graph.rendezvous_nodes),
+                    sparse.pair_count,
+                    f"{(t1 - t0) * 1e3:.1f}",
+                    f"{(t2 - t1) * 1e3:.1f}",
+                )
+            )
+        print_table(
+            "Ablation: ordering backends (identical outputs asserted)",
+            ["graph", "nodes", "ordered pairs", "sparse ms", "dense ms"],
+            rows,
+        )
+
+    bench_once(benchmark, scenario)

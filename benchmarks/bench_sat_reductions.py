@@ -1,0 +1,105 @@
+"""E7 — Theorems 2 and 3 (Figures 6-8): the NP-hardness constructions.
+
+For random 3-CNF formulas the constructed program/graph has a
+constrained deadlock cycle iff DPLL finds the formula satisfiable; the
+construction itself is polynomial-size while the cycle *check* is the
+exponential part — exactly the paper's argument.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _util import bench_once, print_table
+from repro.lang.ast_nodes import statement_count
+from repro.reductions.cnf import random_cnf
+from repro.reductions.dpll import is_satisfiable
+from repro.reductions.theorem2 import (
+    build_theorem2_program,
+    find_unsequenceable_cycle,
+)
+from repro.reductions.theorem3 import (
+    build_theorem3_graph,
+    find_constraint2_cycle,
+)
+
+
+@pytest.mark.parametrize("clauses", [2, 4, 6])
+def test_theorem2_construction_time(clauses, benchmark):
+    formula = random_cnf(4, clauses, seed=clauses)
+    instance = benchmark(build_theorem2_program, formula)
+    assert len(instance.program.tasks) >= 3 * clauses
+
+
+@pytest.mark.parametrize("clauses", [2, 4, 6])
+def test_theorem2_check_agrees_with_dpll(clauses, benchmark):
+    formula = random_cnf(4, clauses, seed=100 + clauses)
+    instance = build_theorem2_program(formula)
+    cycle = benchmark(find_unsequenceable_cycle, instance)
+    assert (cycle is not None) == is_satisfiable(formula)
+
+
+@pytest.mark.parametrize("clauses", [2, 4, 6])
+def test_theorem3_check_agrees_with_dpll(clauses, benchmark):
+    formula = random_cnf(4, clauses, seed=200 + clauses)
+    instance = build_theorem3_graph(formula)
+    cycle = benchmark(find_constraint2_cycle, instance)
+    assert (cycle is not None) == is_satisfiable(formula)
+
+
+def test_agreement_sweep_and_size_table(benchmark):
+    def scenario():
+        rows = []
+        agree = 0
+        total = 0
+        for clauses in (2, 3, 4, 5):
+            sat_count = 0
+            for seed in range(6):
+                formula = random_cnf(4, clauses, seed=seed)
+                sat = is_satisfiable(formula)
+                t2 = find_unsequenceable_cycle(
+                    build_theorem2_program(formula)
+                )
+                t3 = find_constraint2_cycle(build_theorem3_graph(formula))
+                assert (t2 is not None) == sat
+                assert (t3 is not None) == sat
+                agree += 1
+                total += 1
+                sat_count += sat
+            instance = build_theorem2_program(random_cnf(4, clauses, seed=0))
+            rows.append(
+                (
+                    clauses,
+                    sat_count,
+                    len(instance.program.tasks),
+                    statement_count(instance.program),
+                    3 ** clauses,
+                )
+            )
+        print_table(
+            "E7: reductions vs DPLL (6 random formulas per size)",
+            [
+                "clauses",
+                "satisfiable",
+                "thm2 tasks",
+                "thm2 stmts",
+                "head choices (3^m)",
+            ],
+            rows,
+        )
+        assert agree == total
+
+    bench_once(benchmark, scenario)
+def test_construction_size_is_polynomial(benchmark):
+    def scenario():
+        sizes = []
+        for clauses in (2, 4, 8):
+            formula = random_cnf(6, clauses, seed=1)
+            instance = build_theorem2_program(formula)
+            sizes.append(statement_count(instance.program))
+        # linear in the number of clauses: doubling clauses roughly doubles
+        # statements (never quadruples)
+        assert sizes[1] < sizes[0] * 3
+        assert sizes[2] < sizes[1] * 3
+
+    bench_once(benchmark, scenario)

@@ -1,0 +1,155 @@
+"""E11 — Lemma 3: the O(|N|) stall count check vs the exact oracle.
+
+The count-balance check runs in time linear in program size and agrees
+with exhaustive exploration on every unconditional-rendezvous program,
+while exploration cost explodes with task count — the practical content
+of Section 5.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _util import bench_once, print_table
+from repro.analysis.stalls import lemma3_stall_analysis
+from repro.lang.ast_nodes import statement_count
+from repro.syncgraph.build import build_sync_graph
+from repro.waves.explore import explore
+from repro.workloads.patterns import pipeline
+from repro.workloads.random_programs import random_serializable_program
+
+
+@pytest.mark.parametrize("rendezvous", [10, 100, 1000])
+def test_count_check_scaling(rendezvous, benchmark):
+    program = random_serializable_program(
+        tasks=4, rendezvous=rendezvous, seed=1
+    )
+    report = benchmark(lemma3_stall_analysis, program)
+    assert report.stall_free  # balanced by construction
+
+
+def test_agreement_with_exact_on_serializable_corpus(benchmark):
+    def scenario():
+        agree = 0
+        for seed in range(20):
+            program = random_serializable_program(
+                tasks=3, rendezvous=5, seed=seed
+            )
+            lemma = lemma3_stall_analysis(program).stall_free
+            exact = not explore(build_sync_graph(program)).has_stall
+            # Lemma 3 certification is sound; balanced straight-line
+            # programs can never stall
+            assert not lemma or exact
+            agree += lemma == exact
+        assert agree >= 18  # Lemma 3 is near-exact on this family
+
+    bench_once(benchmark, scenario)
+def test_linear_vs_exponential_table(benchmark):
+    def scenario():
+        rows = []
+        for stages in (3, 5, 7, 9):
+            program = pipeline(stages, 2)
+            t0 = time.perf_counter()
+            lemma3_stall_analysis(program)
+            lemma_ms = (time.perf_counter() - t0) * 1e3
+            t0 = time.perf_counter()
+            waves = explore(build_sync_graph(program)).visited_count
+            exact_ms = (time.perf_counter() - t0) * 1e3
+            rows.append(
+                (
+                    stages,
+                    statement_count(program),
+                    f"{lemma_ms:.2f}",
+                    waves,
+                    f"{exact_ms:.2f}",
+                )
+            )
+        print_table(
+            "E11: Lemma 3 vs exact stall analysis (pipeline family)",
+            ["stages", "stmts", "lemma3 ms", "waves", "exact ms"],
+            rows,
+        )
+
+    bench_once(benchmark, scenario)
+def test_imbalance_detection(benchmark):
+    program = random_serializable_program(tasks=4, rendezvous=50, seed=3)
+    # break the balance: drop the last statement of the last task
+    broken = program.with_tasks(
+        list(program.tasks[:-1])
+        + [program.tasks[-1].with_body(program.tasks[-1].body[:-1])]
+    )
+    report = benchmark(lemma3_stall_analysis, broken)
+    assert not report.stall_free
+    assert len(report.imbalanced) == 1
+
+
+def test_lemma4_net_vector_scaling(benchmark):
+    """The Lemma-4 balance decision stays O(|N|) with conditionals."""
+    from repro.analysis.stalls import lemma4_stall_analysis
+    from repro.lang.parser import parse_program
+
+    n = 150
+    # balanced conditional arms, n of them per task
+    a = " ".join(
+        f"if ? then send b.m{i}; else send b.m{i}; end if;"
+        for i in range(n)
+    )
+    b = " ".join(
+        f"if ? then accept m{i}; else accept m{i}; end if;"
+        for i in range(n)
+    )
+    program = parse_program(
+        f"program p; task a is begin {a} end; task b is begin {b} end;"
+    )
+    report = benchmark(lemma4_stall_analysis, program)
+    assert report.stall_free
+
+
+def test_lemma4_vs_lemma3_coverage(benchmark):
+    """Lemma 4 certifies strictly more than Lemma 3 on this corpus."""
+    from _util import bench_once
+    from repro.analysis.stalls import (
+        lemma3_stall_analysis,
+        lemma4_stall_analysis,
+    )
+    from repro.lang.parser import parse_program
+
+    corpus = [
+        # lemma3-certifiable
+        "program p; task a is begin send b.m; end;"
+        "task b is begin accept m; end;",
+        # balanced arms: lemma4 only
+        "program p; task a is begin if ? then send b.m; else send b.m; "
+        "end if; end; task b is begin accept m; end;",
+        # static for loops: lemma4 only
+        "program p; task a is begin for i in 1 .. 4 loop send b.m; "
+        "end loop; end; task b is begin for i in 1 .. 4 loop accept m; "
+        "end loop; end;",
+        # while loop: neither
+        "program p; task a is begin while ? loop send b.m; end loop; end;"
+        "task b is begin while ? loop accept m; end loop; end;",
+    ]
+
+    def scenario():
+        rows = []
+        l3_cert = l4_cert = 0
+        for i, src in enumerate(corpus):
+            program = parse_program(src)
+            l3 = lemma3_stall_analysis(program).stall_free
+            l4 = lemma4_stall_analysis(program).stall_free
+            l3_cert += l3
+            l4_cert += l4
+            rows.append((i, l3, l4))
+        print_table(
+            "E11b: Lemma 3 vs Lemma 4 net-vector coverage",
+            ["program", "lemma3 certifies", "lemma4 certifies"],
+            rows,
+        )
+        assert l4_cert > l3_cert  # strictly wider coverage
+        # lemma4 subsumes lemma3 on this corpus
+        for _, l3, l4 in rows:
+            assert not l3 or l4
+
+    bench_once(benchmark, scenario)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Dining philosophers: find the circular wait statically, then fix it.
+
+The classic symmetric pickup order deadlocks; the standard asymmetry
+fix (last philosopher grabs right-first) removes the circular wait.
+This example shows all three tools agreeing:
+
+* the refined static algorithm (polynomial),
+* exhaustive wave exploration (exact, exponential),
+* the concrete interpreter (sampled schedules).
+
+Run with::
+
+    python examples/dining_philosophers.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.refined import refined_deadlock_analysis
+from repro.interp.runtime import sample_runs
+from repro.lang.pretty import pretty
+from repro.syncgraph.build import build_sync_graph
+from repro.waves.explore import explore
+from repro.workloads.patterns import dining_philosophers
+
+
+def report(label: str, deadlock: bool) -> None:
+    print(f"  {label:<28} {'POSSIBLE DEADLOCK' if deadlock else 'deadlock-free'}")
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+
+    for deadlocky in (True, False):
+        program = dining_philosophers(n, deadlock=deadlocky)
+        print(f"\n=== {program.name} ===")
+        if n <= 3 and deadlocky:
+            print(pretty(program))
+
+        graph = build_sync_graph(program)
+        static = refined_deadlock_analysis(graph)
+        report("refined static analysis:", not static.deadlock_free)
+
+        exact = explore(graph)
+        report("exact wave exploration:", exact.has_deadlock)
+
+        runs = sample_runs(program, runs=200)
+        print(
+            f"  {'interpreter (200 runs):':<28} "
+            f"{runs.deadlock_runs} deadlocked, {runs.completed} completed"
+        )
+
+        if deadlocky:
+            assert exact.has_deadlock and not static.deadlock_free
+            if runs.example_deadlock is not None:
+                waiting = ", ".join(
+                    f"{task} on {req.signal}"
+                    for task, req in sorted(
+                        runs.example_deadlock.waiting.items()
+                    )
+                )
+                print(f"  one stuck schedule: {waiting}")
+        else:
+            assert not exact.has_deadlock
+            assert runs.deadlock_runs == 0
+
+    print(
+        "\nThe asymmetric variant eliminates every deadlock; the static "
+        "analysis stays conservative on it (forks share signal types), "
+        "which is exactly the precision trade-off the paper studies."
+    )
+
+
+if __name__ == "__main__":
+    main()

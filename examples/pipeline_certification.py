@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Certifying looping producer/consumer pipelines.
+
+Source programs with loops cannot be fed to the CLG algorithms
+directly; the Lemma-1 double-unroll transform removes the loops while
+preserving every deadlock.  This example certifies a looping pipeline,
+injects a back-edge bug that only manifests on the *second* iteration,
+and shows the transform preserving it — then compares analysis cost
+against exhaustive exploration as the pipeline grows.
+
+Run with::
+
+    python examples/pipeline_certification.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import repro
+from repro.analysis.refined import refined_deadlock_analysis
+from repro.syncgraph.build import build_sync_graph
+from repro.transforms.unroll import remove_loops
+from repro.waves.explore import explore
+from repro.workloads.patterns import pipeline
+
+LOOPING_PIPELINE = """
+program looping_pipeline;
+
+task producer is
+begin
+    while more loop
+        send stage.item;
+    end loop;
+    send stage.eof;
+end;
+
+task stage is
+begin
+    while more loop
+        accept item;
+        send consumer.cooked;
+    end loop;
+    accept eof;
+    send consumer.eof2;
+end;
+
+task consumer is
+begin
+    while more loop
+        accept cooked;
+    end loop;
+    accept eof2;
+end;
+"""
+
+# Bug: from the second iteration on, the stage demands a credit token
+# *before* accepting the item, while the producer only hands out the
+# credit after its item is taken.
+SECOND_ITERATION_BUG = """
+program second_iteration_bug;
+
+task producer is
+begin
+    send stage.item;
+    while more loop
+        send stage.item;
+        accept credit;
+    end loop;
+end;
+
+task stage is
+begin
+    accept item;
+    while more loop
+        send producer.credit;
+        accept item;
+    end loop;
+end;
+"""
+
+
+def main() -> None:
+    print("=== looping pipeline ===")
+    result = repro.analyze(LOOPING_PIPELINE)
+    print(result.describe())
+    assert result.deadlock.loops_transformed
+    assert result.deadlock.deadlock_free
+
+    print("\n=== a bug that needs the second loop iteration ===")
+    result = repro.analyze(SECOND_ITERATION_BUG)
+    print(result.describe())
+    transformed, _ = remove_loops(result.program)
+    exact = explore(build_sync_graph(transformed))
+    print(
+        "exact oracle on the unrolled program:",
+        "deadlock feasible" if exact.has_deadlock else "clean",
+    )
+
+    print("\n=== cost: refined vs exhaustive as the pipeline grows ===")
+    print(f"{'stages':>6} {'refined ms':>11} {'exact ms':>9} {'waves':>7}")
+    for stages in (3, 5, 7, 9):
+        program = pipeline(stages, rounds=2)
+        graph = build_sync_graph(program)
+        t0 = time.perf_counter()
+        report = refined_deadlock_analysis(graph)
+        refined_ms = (time.perf_counter() - t0) * 1e3
+        t0 = time.perf_counter()
+        exact = explore(graph)
+        exact_ms = (time.perf_counter() - t0) * 1e3
+        assert report.deadlock_free and not exact.has_deadlock
+        print(
+            f"{stages:>6} {refined_ms:>11.1f} {exact_ms:>9.1f} "
+            f"{exact.visited_count:>7}"
+        )
+    print(
+        "\nThe polynomial certificate keeps up while the exact wave "
+        "count grows combinatorially - the paper's core trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

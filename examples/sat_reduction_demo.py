@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Why exact deadlock detection is NP-hard: the Theorem-2 reduction live.
+
+Builds the paper's Appendix-A program for a 3-CNF formula, shows the
+generated tasks, and demonstrates that finding a deadlock cycle with
+unsequenceable head nodes *is* solving the formula — validated against
+a DPLL solver on random instances.
+
+Run with::
+
+    python examples/sat_reduction_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import statement_count
+from repro.lang.pretty import pretty
+from repro.reductions.cnf import CNF, random_cnf
+from repro.reductions.dpll import is_satisfiable, solve
+from repro.reductions.theorem2 import (
+    build_theorem2_program,
+    find_unsequenceable_cycle,
+)
+from repro.reductions.theorem3 import (
+    build_theorem3_graph,
+    find_constraint2_cycle,
+)
+
+
+def main() -> None:
+    # The paper's running example: (a + b + ~c)(a + c + ~d)
+    formula = CNF.of(
+        [(1, True), (2, True), (3, False)],
+        [(1, True), (3, True), (4, False)],
+    )
+    print(f"formula: {formula}")
+    print(f"DPLL: {'satisfiable' if is_satisfiable(formula) else 'UNSAT'}, "
+          f"model = {solve(formula)}")
+
+    instance = build_theorem2_program(formula)
+    program = instance.program
+    print(
+        f"\nTheorem-2 program: {len(program.tasks)} tasks, "
+        f"{statement_count(program)} statements"
+    )
+    print("one literal task (clause 1, literal 3 = ~x3):\n")
+    task = program.task(instance.literal_tasks[(1, 3)])
+    print(pretty(program.with_tasks([task])))
+
+    assignment = find_unsequenceable_cycle(instance)
+    print(f"deadlock cycle with unsequenceable heads -> assignment "
+          f"{assignment}")
+    assert assignment is not None
+
+    graph_instance = build_theorem3_graph(formula)
+    assignment3 = find_constraint2_cycle(graph_instance)
+    print(f"Theorem-3 cycle without rendezvousing heads -> {assignment3}")
+
+    print("\nvalidating both reductions on 20 random formulas...")
+    for seed in range(20):
+        f = random_cnf(4, 6, seed=seed)
+        sat = is_satisfiable(f)
+        got2 = find_unsequenceable_cycle(build_theorem2_program(f))
+        got3 = find_constraint2_cycle(build_theorem3_graph(f))
+        assert (got2 is not None) == sat == (got3 is not None)
+        print(f"  seed {seed:2d}: {'SAT  ' if sat else 'UNSAT'} "
+              f"cycle2={got2 is not None} cycle3={got3 is not None}")
+    print("all agree: deadlock-cycle existence == satisfiability")
+
+
+if __name__ == "__main__":
+    main()

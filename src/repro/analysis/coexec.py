@@ -1,0 +1,74 @@
+"""Co-executability approximation and the ``NOT-COEXEC`` vector.
+
+Constraint 3b requires all head nodes of a deadlock cycle to be
+*co-executable* in the sense of Callahan and Subhlok: executable in the
+same run of the program.  Exact co-executability needs whole-program
+path information; the paper assumes it "through other static analysis".
+
+Our built-in approximation is intra-task and exact for acyclic control
+flow: two rendezvous points of one task are co-executable iff one is
+control-reachable from the other (a single run of a task follows one
+path; two nodes both lie on some path iff one reaches the other).
+Cross-task pairs default to co-executable (the conservative answer).
+External facts — e.g. from a symbolic analysis — can be injected via
+``extra_not_coexec``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+
+from ..syncgraph.model import SyncGraph, SyncNode
+
+__all__ = ["CoExecInfo", "compute_coexec"]
+
+
+@dataclass
+class CoExecInfo:
+    """``NOT-COEXEC`` facts: pairs that can never execute in one run."""
+
+    not_coexec: Dict[SyncNode, FrozenSet[SyncNode]]
+
+    def not_coexecutable(self, a: SyncNode, b: SyncNode) -> bool:
+        return b in self.not_coexec.get(a, frozenset())
+
+    def not_coexec_with(self, a: SyncNode) -> FrozenSet[SyncNode]:
+        return self.not_coexec.get(a, frozenset())
+
+    @property
+    def pair_count(self) -> int:
+        return sum(len(v) for v in self.not_coexec.values()) // 2
+
+
+def compute_coexec(
+    graph: SyncGraph,
+    extra_not_coexec: Iterable[Tuple[SyncNode, SyncNode]] = (),
+) -> CoExecInfo:
+    """Compute ``NOT-COEXEC`` for every rendezvous node.
+
+    Intra-task rule: ``a`` and ``b`` of the same task are not
+    co-executable when neither control-reaches the other (they sit on
+    exclusive conditional branches).  With control cycles the
+    reachability test is still safe — loop bodies reach themselves.
+    """
+    result: Dict[SyncNode, Set[SyncNode]] = {
+        n: set() for n in graph.rendezvous_nodes
+    }
+    descendants: Dict[SyncNode, FrozenSet[SyncNode]] = {
+        n: graph.control_descendants(n, strict=True)
+        for n in graph.rendezvous_nodes
+    }
+    for task in graph.tasks:
+        nodes = graph.nodes_of_task(task)
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                if b not in descendants[a] and a not in descendants[b]:
+                    result[a].add(b)
+                    result[b].add(a)
+    for a, b in extra_not_coexec:
+        result[a].add(b)
+        result[b].add(a)
+    return CoExecInfo(
+        not_coexec={n: frozenset(s) for n, s in result.items()}
+    )

@@ -1,0 +1,97 @@
+"""Bounded confirmation of possible-deadlock reports.
+
+The polynomial detectors are conservative; when they report a possible
+deadlock, a bounded exact search can often settle the question on
+real-world-sized programs:
+
+* a witness upgrades the verdict to **confirmed** with a concrete
+  schedule;
+* exhausting the wave space without an anomaly *disproves* the report
+  (the alarm was false) — the program is certified after all;
+* hitting the state budget leaves the verdict **possible**, faithfully.
+
+This is a practical layer on top of the paper: it composes the paper's
+cheap certification with its own exact semantics as an escalation path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ExplorationLimitError
+from ..syncgraph.model import SyncGraph
+from ..waves.witness import AnomalyWitness, find_anomaly_witness
+from .results import DeadlockReport, Verdict
+
+__all__ = ["ConfirmationOutcome", "ConfirmedReport", "confirm_deadlock_report"]
+
+
+class ConfirmationOutcome:
+    CONFIRMED = "confirmed-deadlock"
+    REFUTED = "false-alarm-refuted"
+    INCONCLUSIVE = "inconclusive-budget-exhausted"
+    NOT_NEEDED = "not-needed-already-certified"
+
+
+@dataclass
+class ConfirmedReport:
+    """A deadlock report augmented with a confirmation attempt."""
+
+    report: DeadlockReport
+    outcome: str
+    witness: Optional[AnomalyWitness] = None
+    states_budget: int = 0
+
+    @property
+    def final_verdict(self) -> str:
+        if self.outcome == ConfirmationOutcome.CONFIRMED:
+            return ConfirmationOutcome.CONFIRMED
+        if self.outcome == ConfirmationOutcome.REFUTED:
+            return Verdict.CERTIFIED_FREE
+        return self.report.verdict
+
+    def describe(self) -> str:
+        lines = [self.report.describe(), f"confirmation: {self.outcome}"]
+        if self.witness is not None:
+            lines.append(self.witness.describe())
+        return "\n".join(lines)
+
+
+def confirm_deadlock_report(
+    graph: SyncGraph,
+    report: DeadlockReport,
+    state_limit: int = 100_000,
+) -> ConfirmedReport:
+    """Attempt to confirm or refute a possible-deadlock report.
+
+    Does nothing when the report already certifies the program.
+    """
+    if report.deadlock_free:
+        return ConfirmedReport(
+            report=report,
+            outcome=ConfirmationOutcome.NOT_NEEDED,
+            states_budget=state_limit,
+        )
+    try:
+        witness = find_anomaly_witness(
+            graph, kind="deadlock", state_limit=state_limit
+        )
+    except ExplorationLimitError:
+        return ConfirmedReport(
+            report=report,
+            outcome=ConfirmationOutcome.INCONCLUSIVE,
+            states_budget=state_limit,
+        )
+    if witness is not None:
+        return ConfirmedReport(
+            report=report,
+            outcome=ConfirmationOutcome.CONFIRMED,
+            witness=witness,
+            states_budget=state_limit,
+        )
+    return ConfirmedReport(
+        report=report,
+        outcome=ConfirmationOutcome.REFUTED,
+        states_budget=state_limit,
+    )

@@ -1,0 +1,467 @@
+"""Extensions of the refined algorithm (paper, Section 4.2).
+
+The paper lists four accuracy/cost trade-offs beyond single-head
+hypotheses:
+
+1. **Head pairs** — hypothesize two head nodes at once; report only
+   components containing both.  A deadlock cycle spans at least two
+   tasks, so it has at least two head nodes; a pair hypothesis can
+   additionally skip pairs that provably cannot co-head (sequenceable,
+   sync-edge-connected, or not co-executable).
+2. **Head–tail pairs** — hypothesize the node where the cycle leaves
+   the head's task; report only components containing ``h_i`` and
+   ``t_o``.
+3. **Combined** — pairs of head–tail pairs.
+4. **k pairs** — generalization with exhaustive search for short
+   cycles; the ``k = 2`` case coincides with 3 plus an exhaustive
+   two-task cycle check, which is what we implement.
+
+Each function certifies deadlock-freedom when no hypothesis survives;
+any surviving hypothesis is conservatively reported.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from ..errors import AnalysisError
+from ..syncgraph.clg import CLG, CLGEdge, CLGNode, EdgeKind, build_clg
+from ..syncgraph.model import SyncGraph, SyncNode
+from .coexec import CoExecInfo, compute_coexec
+from .naive import project_component
+from .orderings import OrderingInfo, compute_orderings
+from .refined import coaccept_of, possible_heads
+from .results import DeadlockEvidence, DeadlockReport, Verdict
+
+__all__ = [
+    "head_pairs_analysis",
+    "head_tail_analysis",
+    "combined_pairs_analysis",
+    "k_pairs_analysis",
+]
+
+
+def _prepare(
+    graph: SyncGraph,
+    clg: Optional[CLG],
+    orderings: Optional[OrderingInfo],
+    coexec: Optional[CoExecInfo],
+) -> Tuple[CLG, OrderingInfo, CoExecInfo]:
+    if graph.has_control_cycle():
+        raise AnalysisError(
+            "extension analyses require acyclic control flow; apply "
+            "repro.transforms.unroll.remove_loops first"
+        )
+    return (
+        clg if clg is not None else build_clg(graph),
+        orderings if orderings is not None else compute_orderings(graph),
+        coexec if coexec is not None else compute_coexec(graph),
+    )
+
+
+def _search(
+    clg: CLG,
+    required: Tuple[CLGNode, ...],
+    no_sync: Set[CLGNode],
+    do_not_enter: Set[CLGNode],
+) -> Optional[FrozenSet[CLGNode]]:
+    """Cyclic component of the pruned CLG containing all ``required``."""
+    if any(n in do_not_enter or n in no_sync for n in required):
+        return None
+
+    def edge_ok(edge: CLGEdge) -> bool:
+        if edge.kind != EdgeKind.SYNC:
+            return True
+        return edge.src not in no_sync and edge.dst not in no_sync
+
+    def node_ok(node: CLGNode) -> bool:
+        return node not in do_not_enter
+
+    for component in clg.cyclic_components(edge_ok, node_ok):
+        if all(n in component for n in required):
+            return component
+    return None
+
+
+def _head_marks(
+    graph: SyncGraph,
+    clg: CLG,
+    head: SyncNode,
+    orderings: OrderingInfo,
+    coexec: CoExecInfo,
+    use_coaccept: bool = True,
+) -> Tuple[Set[CLGNode], Set[CLGNode]]:
+    """(no_sync, do_not_enter) marks for one hypothesized head."""
+    no_sync: Set[CLGNode] = set()
+    do_not_enter: Set[CLGNode] = set()
+    for k in orderings.sequenceable_with(head):
+        no_sync.add(clg.in_node(k))
+    for k in graph.nodes_of_task(head.task):  # constraint 1c
+        if k is not head:
+            no_sync.add(clg.in_node(k))
+    for k in graph.sync_neighbors(head):  # constraint 2
+        no_sync.add(clg.in_node(k))
+    if use_coaccept:
+        for k in coaccept_of(graph, head):
+            no_sync.add(clg.in_node(k))
+            no_sync.add(clg.out_node(k))
+    for k in coexec.not_coexec_with(head):
+        do_not_enter.add(clg.in_node(k))
+        do_not_enter.add(clg.out_node(k))
+    return no_sync, do_not_enter
+
+
+def head_pairs_analysis(
+    graph: SyncGraph,
+    clg: Optional[CLG] = None,
+    orderings: Optional[OrderingInfo] = None,
+    coexec: Optional[CoExecInfo] = None,
+) -> DeadlockReport:
+    """Extension 1: hypothesize pairs of head nodes.
+
+    A pair is viable only if the two nodes are in different tasks, are
+    not sequenceable, are co-executable, and cannot rendezvous with each
+    other (constraint 2 — co-heads joined by a sync edge would let the
+    wave advance).
+    """
+    clg, orderings, coexec = _prepare(graph, clg, orderings, coexec)
+    heads = possible_heads(graph)
+    evidence: List[DeadlockEvidence] = []
+    examined = 0
+    for h1, h2 in combinations(heads, 2):
+        if h1.task == h2.task:
+            continue
+        if orderings.sequenceable(h1, h2):
+            continue
+        if coexec.not_coexecutable(h1, h2):
+            continue
+        if graph.has_sync_edge(h1, h2):
+            continue
+        examined += 1
+        ns1, dne1 = _head_marks(graph, clg, h1, orderings, coexec)
+        ns2, dne2 = _head_marks(graph, clg, h2, orderings, coexec)
+        component = _search(
+            clg,
+            (clg.in_node(h1), clg.in_node(h2)),
+            ns1 | ns2,
+            dne1 | dne2,
+        )
+        if component is not None:
+            evidence.append(
+                DeadlockEvidence(
+                    component=project_component(component), head=h1, tail=h2
+                )
+            )
+    verdict = Verdict.CERTIFIED_FREE if not evidence else Verdict.POSSIBLE_DEADLOCK
+    return DeadlockReport(
+        verdict=verdict,
+        algorithm="refined+head-pairs",
+        evidence=evidence,
+        heads_examined=examined,
+        stats={"pairs_examined": examined},
+    )
+
+
+def _candidate_tails(
+    graph: SyncGraph,
+    head: SyncNode,
+    coexec: CoExecInfo,
+) -> Tuple[SyncNode, ...]:
+    """Candidate tail nodes for ``head`` per the paper's criteria.
+
+    ``t`` is reachable by control flow from ``head``, has a sync edge to
+    exit through, and ``t ∉ COACCEPT[head] ∪ NOT-COEXEC[head]``.
+    """
+    coaccepts = set(coaccept_of(graph, head))
+    blocked = coexec.not_coexec_with(head)
+    tails = []
+    for t in graph.control_descendants(head, strict=True):
+        if not t.is_rendezvous or t.task != head.task:
+            continue
+        if t in coaccepts or t in blocked:
+            continue
+        if graph.sync_neighbors(t):
+            tails.append(t)
+    return tuple(tails)
+
+
+def head_tail_analysis(
+    graph: SyncGraph,
+    clg: Optional[CLG] = None,
+    orderings: Optional[OrderingInfo] = None,
+    coexec: Optional[CoExecInfo] = None,
+) -> DeadlockReport:
+    """Extension 2: hypothesize (head, tail) pairs within one task.
+
+    For a candidate pair, nodes not co-executable with the head *or*
+    the tail are removed, sequenceable nodes lose head-entry sync edges,
+    and COACCEPT marking is unnecessary (the exit node is fixed).  A
+    head with no viable tail cannot head any cycle.
+    """
+    clg, orderings, coexec = _prepare(graph, clg, orderings, coexec)
+    heads = possible_heads(graph)
+    evidence: List[DeadlockEvidence] = []
+    examined = 0
+    for head in heads:
+        for tail in _candidate_tails(graph, head, coexec):
+            examined += 1
+            # COACCEPT marking is unnecessary when the exit node is
+            # hypothesized explicitly (paper, extensions discussion).
+            no_sync, do_not_enter = _head_marks(
+                graph, clg, head, orderings, coexec, use_coaccept=False
+            )
+            for k in coexec.not_coexec_with(tail):
+                do_not_enter.add(clg.in_node(k))
+                do_not_enter.add(clg.out_node(k))
+            component = _search(
+                clg,
+                (clg.in_node(head), clg.out_node(tail)),
+                no_sync,
+                do_not_enter,
+            )
+            if component is not None:
+                evidence.append(
+                    DeadlockEvidence(
+                        component=project_component(component),
+                        head=head,
+                        tail=tail,
+                    )
+                )
+                break  # one surviving tail suffices to flag this head
+    verdict = Verdict.CERTIFIED_FREE if not evidence else Verdict.POSSIBLE_DEADLOCK
+    return DeadlockReport(
+        verdict=verdict,
+        algorithm="refined+head-tail",
+        evidence=evidence,
+        heads_examined=examined,
+        stats={"head_tail_pairs_examined": examined},
+    )
+
+
+def combined_pairs_analysis(
+    graph: SyncGraph,
+    clg: Optional[CLG] = None,
+    orderings: Optional[OrderingInfo] = None,
+    coexec: Optional[CoExecInfo] = None,
+    max_hypotheses: int = 250_000,
+) -> DeadlockReport:
+    """Extensions 3/4 (k=2): pairs of head–tail pairs.
+
+    Every deadlock cycle spans at least two tasks, hence contributes at
+    least two head–tail segments in distinct tasks; with ``k = 2`` the
+    paper's exhaustive short-cycle search is therefore unnecessary (it
+    is only required for ``k ≥ 3``, where two-task cycles would escape
+    the distinct-pair hypotheses).  Raises :class:`AnalysisError` when
+    the hypothesis space exceeds ``max_hypotheses`` — this extension is
+    the expensive end of the paper's accuracy/cost spectrum.
+    """
+    clg, orderings, coexec = _prepare(graph, clg, orderings, coexec)
+    evidence: List[DeadlockEvidence] = []
+    pairs: List[Tuple[SyncNode, SyncNode]] = []
+    for head in possible_heads(graph):
+        for tail in _candidate_tails(graph, head, coexec):
+            pairs.append((head, tail))
+    total = len(pairs) * (len(pairs) - 1) // 2
+    if total > max_hypotheses:
+        raise AnalysisError(
+            f"combined-pairs hypothesis space too large ({total} pairs); "
+            f"raise max_hypotheses to force the run"
+        )
+    examined = 0
+    for (h1, t1), (h2, t2) in combinations(pairs, 2):
+        if h1.task == h2.task:
+            continue
+        if orderings.sequenceable(h1, h2):
+            continue
+        if coexec.not_coexecutable(h1, h2):
+            continue
+        if graph.has_sync_edge(h1, h2):
+            continue
+        examined += 1
+        ns1, dne1 = _head_marks(
+            graph, clg, h1, orderings, coexec, use_coaccept=False
+        )
+        ns2, dne2 = _head_marks(
+            graph, clg, h2, orderings, coexec, use_coaccept=False
+        )
+        no_sync = ns1 | ns2
+        do_not_enter = dne1 | dne2
+        for k in coexec.not_coexec_with(t1) | coexec.not_coexec_with(t2):
+            do_not_enter.add(clg.in_node(k))
+            do_not_enter.add(clg.out_node(k))
+        component = _search(
+            clg,
+            (
+                clg.in_node(h1),
+                clg.out_node(t1),
+                clg.in_node(h2),
+                clg.out_node(t2),
+            ),
+            no_sync,
+            do_not_enter,
+        )
+        if component is not None:
+            evidence.append(
+                DeadlockEvidence(
+                    component=project_component(component), head=h1, tail=h2
+                )
+            )
+    verdict = Verdict.CERTIFIED_FREE if not evidence else Verdict.POSSIBLE_DEADLOCK
+    return DeadlockReport(
+        verdict=verdict,
+        algorithm="refined+combined-pairs",
+        evidence=evidence,
+        heads_examined=examined,
+        stats={"pair_hypotheses_examined": examined},
+    )
+
+
+def _restricted_two_task_search(
+    graph: SyncGraph,
+    clg: CLG,
+    orderings: OrderingInfo,
+    coexec: CoExecInfo,
+) -> List[DeadlockEvidence]:
+    """Exhaustive search for cycles spanning exactly two tasks.
+
+    For every ordered task pair the CLG is restricted to those tasks'
+    split nodes and each head hypothesis from the first task is run
+    inside the restriction.  Complete for two-task cycles: such a cycle
+    only ever touches nodes of its two tasks.
+    """
+    from .refined import component_for_head
+
+    evidence: List[DeadlockEvidence] = []
+    heads_by_task: Dict[str, List[SyncNode]] = {}
+    for head in possible_heads(graph):
+        heads_by_task.setdefault(head.task, []).append(head)
+    tasks = [t for t in graph.tasks if t in heads_by_task]
+    for a_idx, task_a in enumerate(tasks):
+        for task_b in tasks[a_idx + 1 :]:
+            allowed_tasks = {task_a, task_b}
+
+            def node_ok(node: CLGNode) -> bool:
+                return node.sync is None or node.sync.task in allowed_tasks
+
+            for head in heads_by_task[task_a]:
+                ns, dne = _head_marks(graph, clg, head, orderings, coexec)
+                dne = set(dne) | {
+                    n for n in clg.nodes if not node_ok(n)
+                }
+                component = _search(clg, (clg.in_node(head),), ns, dne)
+                if component is not None:
+                    evidence.append(
+                        DeadlockEvidence(
+                            component=project_component(component),
+                            head=head,
+                        )
+                    )
+                    break  # one witness per task pair suffices
+    return evidence
+
+
+def k_pairs_analysis(
+    graph: SyncGraph,
+    k: int = 3,
+    clg: Optional[CLG] = None,
+    orderings: Optional[OrderingInfo] = None,
+    coexec: Optional[CoExecInfo] = None,
+    max_hypotheses: int = 500_000,
+) -> DeadlockReport:
+    """Extension 4 for general ``k``: hypothesize ``k`` head–tail pairs.
+
+    Per the paper: a deadlock cycle either joins fewer than ``k`` tasks
+    — handled by exhaustive search (cycles span ≥ 2 tasks, so only the
+    2..k-1 task cases need it; the two-task case is searched directly
+    and cycles of 3..k-1 tasks necessarily light up some smaller tuple,
+    so they are covered by recursing on ``k-1``) — or some set of ``k``
+    hypothesized pairs lies in one strong component.
+
+    Cost grows as ``O(pairs^k)``; ``max_hypotheses`` guards the
+    combinatorial explosion.  ``k = 2`` delegates to
+    :func:`combined_pairs_analysis`.
+    """
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    if k == 2:
+        report = combined_pairs_analysis(
+            graph, clg, orderings, coexec, max_hypotheses
+        )
+        report.algorithm = "refined+k-pairs(2)"
+        return report
+    clg, orderings, coexec = _prepare(graph, clg, orderings, coexec)
+
+    # Cycles spanning fewer than k tasks.  For k = 3 only two-task
+    # cycles need exhaustive coverage (searched directly, restricted to
+    # each task pair); for k > 3 the k-1 analysis covers 2..k-1 tasks.
+    if k == 3:
+        evidence: List[DeadlockEvidence] = list(
+            _restricted_two_task_search(graph, clg, orderings, coexec)
+        )
+    else:
+        smaller = k_pairs_analysis(
+            graph, k - 1, clg, orderings, coexec, max_hypotheses
+        )
+        evidence = list(smaller.evidence)
+
+    pairs: List[Tuple[SyncNode, SyncNode]] = []
+    for head in possible_heads(graph):
+        for tail in _candidate_tails(graph, head, coexec):
+            pairs.append((head, tail))
+    total = 1
+    for i in range(k):
+        total *= max(1, len(pairs) - i)
+    if total > max_hypotheses:
+        raise AnalysisError(
+            f"k-pairs hypothesis space too large (~{total}); raise "
+            "max_hypotheses to force the run"
+        )
+    examined = 0
+    for combo in combinations(pairs, k):
+        tasks_used = {h.task for h, _ in combo}
+        if len(tasks_used) != k:
+            continue
+        viable = True
+        for (h1, _), (h2, _) in combinations(combo, 2):
+            if (
+                orderings.sequenceable(h1, h2)
+                or coexec.not_coexecutable(h1, h2)
+                or graph.has_sync_edge(h1, h2)
+            ):
+                viable = False
+                break
+        if not viable:
+            continue
+        examined += 1
+        no_sync: Set[CLGNode] = set()
+        do_not_enter: Set[CLGNode] = set()
+        required: List[CLGNode] = []
+        for head, tail in combo:
+            ns, dne = _head_marks(
+                graph, clg, head, orderings, coexec, use_coaccept=False
+            )
+            no_sync |= ns
+            do_not_enter |= dne
+            for kk in coexec.not_coexec_with(tail):
+                do_not_enter.add(clg.in_node(kk))
+                do_not_enter.add(clg.out_node(kk))
+            required.append(clg.in_node(head))
+            required.append(clg.out_node(tail))
+        component = _search(clg, tuple(required), no_sync, do_not_enter)
+        if component is not None:
+            evidence.append(
+                DeadlockEvidence(
+                    component=project_component(component),
+                    head=combo[0][0],
+                    tail=combo[1][0],
+                )
+            )
+    verdict = Verdict.CERTIFIED_FREE if not evidence else Verdict.POSSIBLE_DEADLOCK
+    return DeadlockReport(
+        verdict=verdict,
+        algorithm=f"refined+k-pairs({k})",
+        evidence=evidence,
+        heads_examined=examined,
+        stats={"k": k, "k_tuples_examined": examined},
+    )

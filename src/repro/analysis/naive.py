@@ -1,0 +1,63 @@
+"""The naive deadlock detection algorithm (paper, Section 3.1).
+
+A depth-first search of the CLG finds a cycle iff the sync graph has a
+cycle satisfying deadlock constraint 1 (the CLG's node splitting
+enforces 1b).  No cycle in the CLG certifies the program deadlock-free:
+every deadlock requires a constraint-1 cycle.
+
+The algorithm assumes acyclic control flow; callers hand it programs
+whose loops were removed by the Lemma-1 unroll transform (the
+:mod:`repro.api` pipeline does this automatically and records it in the
+report).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from ..errors import AnalysisError
+from ..syncgraph.clg import CLG, CLGNode, build_clg
+from ..syncgraph.model import SyncGraph, SyncNode
+from .results import DeadlockEvidence, DeadlockReport, Verdict
+
+__all__ = ["naive_deadlock_analysis", "project_component"]
+
+
+def project_component(component: FrozenSet[CLGNode]) -> FrozenSet[SyncNode]:
+    """Map a CLG component back to its sync-graph nodes."""
+    return frozenset(
+        node.sync for node in component if node.sync is not None
+    )
+
+
+def naive_deadlock_analysis(
+    graph: SyncGraph, clg: CLG | None = None
+) -> DeadlockReport:
+    """Certify deadlock-freedom by CLG cycle detection (Algorithm 1).
+
+    Raises :class:`AnalysisError` when the sync graph still has control
+    cycles — the CLG method is only valid on loop-free programs
+    (Section 3.1.4).
+    """
+    if graph.has_control_cycle():
+        raise AnalysisError(
+            "naive CLG analysis requires acyclic control flow; apply "
+            "repro.transforms.unroll.remove_loops first"
+        )
+    if clg is None:
+        clg = build_clg(graph)
+    components = clg.cyclic_components()
+    evidence: List[DeadlockEvidence] = [
+        DeadlockEvidence(component=project_component(c)) for c in components
+    ]
+    verdict = Verdict.CERTIFIED_FREE if not evidence else Verdict.POSSIBLE_DEADLOCK
+    return DeadlockReport(
+        verdict=verdict,
+        algorithm="naive-clg",
+        evidence=evidence,
+        stats={
+            "clg_nodes": clg.node_count,
+            "clg_edges": clg.edge_count,
+            "cyclic_components": len(components),
+        },
+    )

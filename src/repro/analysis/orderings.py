@@ -1,0 +1,225 @@
+"""Must-ordering facts and the ``SEQUENCEABLE`` vector (paper §4.1).
+
+The paper derives node orderings from the sync graph with a dataflow
+framework based on two rules (cf. Callahan & Subhlok's ``SCP`` lattice):
+
+1. if ``r`` dominates ``s`` in the control flow graph of their task,
+   ``r`` must precede ``s``;
+2. if for every sync edge ``{r, s}``, ``s`` precedes some node ``t``,
+   then ``r`` must precede ``t``.
+
+**Soundness refinement.**  The refined algorithm uses ``SEQUENCEABLE``
+to exclude co-head hypotheses, so the facts must hold on *partial*
+executions — in particular on the prefix leading into a deadlock, where
+some rendezvous never complete.  A naive reading of rule 2 ("orderings
+among completed runs") derives facts that are vacuously true on a
+program that *always* deadlocks and would certify it deadlock-free
+(e.g. the two-task crossed-send program).  We therefore compute the
+prefix-sound closure of the same two ideas:
+
+* ``REL(x, h)`` — *"at any point of any execution, if ``x`` has
+  completed its rendezvous then ``h`` has completed"* — derived from
+
+  - ``x == h``;
+  - ``h`` strictly dominates ``x`` in their task (completing ``x``
+    means control passed ``h``'s completion) — rule 1;
+  - ``REL(d, h)`` for some strict dominator ``d`` of ``x``;
+  - ``partners(x)`` nonempty and ``REL(p, h)`` for **all** sync
+    partners ``p`` of ``x`` (``x`` completes simultaneously with some
+    partner) — rule 2;
+
+* ``precedes(h, k)`` ≡ *"k is not reached until h has completed"* ≡
+  ``REL(d, h)`` for some strict dominator ``d`` of ``k``.
+
+Two sound strengthenings are applied on acyclic control flow:
+
+* **transitivity** — ``REL(x, y)`` and ``REL(y, z)`` give ``REL(x, z)``;
+* **counting** — when every accept node of a signal lies in one task in
+  a domination chain and the signal has equally many send nodes,
+  completing the *last* accept forces completion of every send (each
+  node fires at most once, so ``n`` rendezvous consume all ``n``
+  senders); symmetrically for chain-ordered sends.  This is the
+  cardinality reasoning of Callahan & Subhlok's counting lattice and is
+  what derives the positive-before-negative top-node orderings of the
+  paper's Theorem-2 construction.
+
+If ``precedes(h, k)`` or ``precedes(k, h)`` holds, the two nodes can
+never be simultaneously waiting on an execution wave — exactly the
+property the NO-SYNC marking needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+import networkx as nx
+
+from ..syncgraph.model import SyncGraph, SyncNode
+
+__all__ = ["OrderingInfo", "compute_orderings"]
+
+
+@dataclass
+class OrderingInfo:
+    """Prefix-sound must-ordering facts over rendezvous nodes.
+
+    ``precedes[a]`` is the set of nodes ``b`` such that ``b`` cannot be
+    reached before ``a`` has completed its rendezvous.
+    """
+
+    precedes: Dict[SyncNode, FrozenSet[SyncNode]]
+
+    def must_precede(self, a: SyncNode, b: SyncNode) -> bool:
+        return b in self.precedes.get(a, frozenset())
+
+    def sequenceable(self, a: SyncNode, b: SyncNode) -> bool:
+        return self.must_precede(a, b) or self.must_precede(b, a)
+
+    def sequenceable_with(self, a: SyncNode) -> FrozenSet[SyncNode]:
+        forward = self.precedes.get(a, frozenset())
+        backward = {
+            b for b, targets in self.precedes.items() if a in targets
+        }
+        return frozenset(forward | backward)
+
+    @property
+    def pair_count(self) -> int:
+        """Number of ordered pairs (for reporting/benchmarks)."""
+        return sum(len(v) for v in self.precedes.values())
+
+
+def _task_control_graph(graph: SyncGraph, task: str) -> "nx.DiGraph":
+    """Per-task control graph rooted at ``b``: the task's rendezvous
+    nodes plus ``b``/``e`` with the control edges among them."""
+    g = nx.DiGraph()
+    nodes = set(graph.nodes_of_task(task))
+    g.add_node(graph.b)
+    g.add_node(graph.e)
+    g.add_nodes_from(nodes)
+    for src, dst in graph.control_edges():
+        src_ok = src is graph.b or src in nodes
+        dst_ok = dst is graph.e or dst in nodes
+        if src_ok and dst_ok:
+            g.add_edge(src, dst)
+    return g
+
+
+def strict_dominators(graph: SyncGraph) -> Dict[SyncNode, FrozenSet[SyncNode]]:
+    """Strict rendezvous dominators of each node within its task.
+
+    ``d ∈ strict_dominators[x]`` means every control path from program
+    start to ``x`` in ``x``'s task passes through (and therefore
+    completes) ``d`` first.
+    """
+    result: Dict[SyncNode, FrozenSet[SyncNode]] = {}
+    for task in graph.tasks:
+        g = _task_control_graph(graph, task)
+        task_nodes = [n for n in g.nodes if n.is_rendezvous]
+        if not task_nodes:
+            continue
+        idom = nx.immediate_dominators(g, graph.b)
+        for node in task_nodes:
+            doms: Set[SyncNode] = set()
+            walker = node
+            while walker in idom and idom[walker] is not walker:
+                walker = idom[walker]
+                if walker.is_rendezvous:
+                    doms.add(walker)
+            result[node] = frozenset(doms)
+    for node in graph.rendezvous_nodes:
+        result.setdefault(node, frozenset())
+    return result
+
+
+def _counting_seeds(
+    graph: SyncGraph, doms: Dict[SyncNode, FrozenSet[SyncNode]]
+) -> List[Tuple[SyncNode, SyncNode]]:
+    """Counting-rule seed facts ``REL(last, other_side_node)``.
+
+    For a signal whose accept (resp. send) nodes all sit in one task in
+    a strict domination chain, with equally many nodes on the other
+    side: completing the chain's last node forces completion of every
+    node on the other side.  Only sound when nodes fire at most once,
+    i.e. acyclic control flow — the caller checks that.
+    """
+    seeds: List[Tuple[SyncNode, SyncNode]] = []
+    for signal in graph.signals:
+        senders = graph.senders_of(signal)
+        accepters = graph.accepters_of(signal)
+        if not senders or not accepters or len(senders) != len(accepters):
+            continue
+        for side, other in ((accepters, senders), (senders, accepters)):
+            tasks = {n.task for n in side}
+            if len(tasks) != 1:
+                continue
+            chain = sorted(
+                side, key=lambda n: sum(1 for m in side if m in doms[n])
+            )
+            ok = all(
+                chain[i] in doms[chain[i + 1]] for i in range(len(chain) - 1)
+            )
+            if not ok:
+                continue
+            last = chain[-1]
+            seeds.extend((last, o) for o in other)
+    return seeds
+
+
+def compute_orderings(
+    graph: SyncGraph, max_iterations: int = 10_000
+) -> OrderingInfo:
+    """Least fixpoint of the prefix-sound REL closure; see module docs.
+
+    Works for cyclic control flow too (every clause reads "has
+    completed at least once"), but the counting and transitivity
+    strengthenings assume each node fires at most once and are only
+    applied on acyclic control subgraphs.
+    """
+    nodes = graph.rendezvous_nodes
+    doms = strict_dominators(graph)
+    acyclic = not graph.has_control_cycle()
+
+    # rel[x] = set of h with REL(x, h): "x completed => h completed".
+    rel: Dict[SyncNode, Set[SyncNode]] = {}
+    for x in nodes:
+        rel[x] = {x} | set(doms[x])
+    if acyclic:
+        for x, h in _counting_seeds(graph, doms):
+            rel[x].add(h)
+
+    for _ in range(max_iterations):
+        changed = False
+        for x in nodes:
+            current = rel[x]
+            before = len(current)
+            for d in doms[x]:
+                current |= rel[d]
+            partners = graph.sync_neighbors(x)
+            if partners:
+                common: Set[SyncNode] = set(rel[partners[0]])
+                for p in partners[1:]:
+                    common &= rel[p]
+                    if not common:
+                        break
+                current |= common
+            if acyclic:
+                # Transitive closure: x completed => y completed => ...
+                for y in tuple(current):
+                    current |= rel[y]
+            if len(current) != before:
+                changed = True
+        if not changed:
+            break
+
+    precedes: Dict[SyncNode, Set[SyncNode]] = {n: set() for n in nodes}
+    for k in nodes:
+        reached_implies: Set[SyncNode] = set()
+        for d in doms[k]:
+            reached_implies |= rel[d]
+        for h in reached_implies:
+            if h is not k:
+                precedes[h].add(k)
+    return OrderingInfo(
+        precedes={a: frozenset(bs) for a, bs in precedes.items()}
+    )

@@ -1,0 +1,170 @@
+"""High-level public API: one-call certification pipelines.
+
+Typical use::
+
+    import repro
+
+    result = repro.analyze('''
+        program handshake;
+        task t1 is begin send t2.hello; accept world; end;
+        task t2 is begin accept hello; send t1.world; end;
+    ''')
+    assert result.deadlock.deadlock_free
+    assert result.stall.stall_free
+
+``analyze`` accepts source text or a parsed
+:class:`~repro.lang.ast_nodes.Program`, validates it, removes loops
+with the Lemma-1 transform when needed, builds the sync graph, and runs
+the requested deadlock algorithm plus the stall pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Union
+
+from .analysis.constraint4 import constraint4_deadlock_analysis
+from .analysis.extensions import (
+    combined_pairs_analysis,
+    head_pairs_analysis,
+    head_tail_analysis,
+    k_pairs_analysis,
+)
+from .analysis.naive import naive_deadlock_analysis
+from .analysis.refined import refined_deadlock_analysis
+from .analysis.results import DeadlockReport, StallReport, Verdict
+from .analysis.stalls import stall_analysis
+from .errors import AnalysisError
+from .lang.ast_nodes import Program
+from .lang.parser import parse_program
+from .lang.validate import ValidationReport, validate_program
+from .syncgraph.build import build_sync_graph
+from .syncgraph.model import SyncGraph
+from .transforms.inline import inline_procedures
+from .transforms.unroll import remove_loops
+from .waves.explore import explore
+
+__all__ = [
+    "ALGORITHMS",
+    "AnalysisResult",
+    "analyze",
+    "certify_deadlock_free",
+    "certify_stall_free",
+]
+
+ALGORITHMS: Dict[str, Callable[[SyncGraph], DeadlockReport]] = {
+    "naive": naive_deadlock_analysis,
+    "refined": refined_deadlock_analysis,
+    "refined+constraint4": constraint4_deadlock_analysis,
+    "head-pairs": head_pairs_analysis,
+    "head-tail": head_tail_analysis,
+    "combined-pairs": combined_pairs_analysis,
+    "k-pairs-3": lambda graph: k_pairs_analysis(graph, k=3),
+}
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one ``analyze`` call produced."""
+
+    program: Program
+    analyzed_program: Program  # after loop removal, if it differed
+    validation: ValidationReport
+    sync_graph: SyncGraph
+    deadlock: DeadlockReport
+    stall: StallReport
+
+    @property
+    def loops_transformed(self) -> bool:
+        return self.analyzed_program is not self.program
+
+    def describe(self) -> str:
+        lines = [f"program {self.program.name}:"]
+        lines.append(self.deadlock.describe())
+        lines.append(self.stall.describe())
+        for warning in self.validation.warnings:
+            lines.append(f"  warning: {warning}")
+        return "\n".join(lines)
+
+
+def _coerce(program: Union[str, Program]) -> Program:
+    if isinstance(program, str):
+        return parse_program(program)
+    return program
+
+
+def analyze(
+    program: Union[str, Program],
+    algorithm: str = "refined",
+    exact: bool = False,
+    state_limit: int = 200_000,
+) -> AnalysisResult:
+    """Run the full static pipeline on ``program``.
+
+    ``algorithm`` selects the deadlock detector (see :data:`ALGORITHMS`;
+    ``"exact"`` or ``exact=True`` uses exhaustive wave exploration —
+    exponential, for small programs only).  Loops are removed by the
+    Lemma-1 double-unroll transform automatically; the report records
+    whether that happened.
+    """
+    source_program = _coerce(program)
+    inlined, procedures_inlined = inline_procedures(source_program)
+    validation = validate_program(inlined)
+    analyzed, transformed = remove_loops(inlined)
+    graph = build_sync_graph(analyzed)
+
+    if exact or algorithm == "exact":
+        result = explore(graph, state_limit=state_limit)
+        deadlock = DeadlockReport(
+            verdict=(
+                Verdict.POSSIBLE_DEADLOCK
+                if result.has_deadlock
+                else Verdict.CERTIFIED_FREE
+            ),
+            algorithm="exact-waves",
+            stats={"feasible_waves": result.visited_count},
+        )
+    else:
+        try:
+            runner = ALGORITHMS[algorithm]
+        except KeyError:
+            raise AnalysisError(
+                f"unknown algorithm {algorithm!r}; choose one of "
+                f"{sorted(ALGORITHMS)} or 'exact'"
+            ) from None
+        deadlock = runner(graph)
+    deadlock.loops_transformed = transformed
+    if procedures_inlined:
+        deadlock.stats["procedures_inlined"] = len(
+            source_program.procedures
+        )
+
+    stall = stall_analysis(inlined)
+    return AnalysisResult(
+        program=source_program,
+        analyzed_program=analyzed
+        if (transformed or procedures_inlined)
+        else source_program,
+        validation=validation,
+        sync_graph=graph,
+        deadlock=deadlock,
+        stall=stall,
+    )
+
+
+def certify_deadlock_free(
+    program: Union[str, Program], algorithm: str = "refined"
+) -> bool:
+    """True iff the chosen algorithm certifies the program deadlock-free.
+
+    False means *possible* deadlock (the analyses are conservative:
+    real deadlocks are never missed, but false alarms can occur).
+    """
+    return analyze(program, algorithm=algorithm).deadlock.deadlock_free
+
+
+def certify_stall_free(program: Union[str, Program]) -> bool:
+    """True iff the stall pipeline (Lemma 3 + §5.1 transforms) certifies
+    the program stall-free; False covers both possible-stall and
+    unknown."""
+    return analyze(program).stall.stall_free

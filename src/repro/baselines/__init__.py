@@ -1,0 +1,5 @@
+"""Related-work baselines used as comparators in the benchmarks."""
+
+from .taylor_csg import CSGResult, taylor_csg_analysis
+
+__all__ = ["CSGResult", "taylor_csg_analysis"]

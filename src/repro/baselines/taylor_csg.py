@@ -1,0 +1,119 @@
+"""Taylor-style concurrency state graph analysis (related work, §6).
+
+Taylor [Tay83a] represents a program's possible concurrency states as a
+graph whose nodes are full task-position vectors; "the number of
+concurrency states is greater than the product of the numbers of
+rendezvous nodes in each task".  We build the state space at the
+*statement* level of the per-task CFGs: internal (non-rendezvous) moves
+interleave freely, rendezvous moves fire in complementary pairs.  This
+is strictly larger than the wave space (which collapses internal
+moves), giving the scaling benchmarks a second exponential comparator
+with the historically accurate blow-up.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..cfg.build import build_cfgs
+from ..cfg.graph import CFGNode, NodeKind, TaskCFG
+from ..errors import ExplorationLimitError
+from ..lang.ast_nodes import Accept, Program, Send, Signal
+
+__all__ = ["CSGResult", "taylor_csg_analysis"]
+
+State = Tuple[CFGNode, ...]
+
+
+@dataclass
+class CSGResult:
+    """Outcome of exhaustive concurrency-state exploration."""
+
+    state_count: int
+    has_deadlock: bool
+    can_terminate: bool
+    deadlock_states: List[State] = field(default_factory=list)
+
+    @property
+    def deadlock_free(self) -> bool:
+        return not self.has_deadlock
+
+
+def _request(node: CFGNode, task: str) -> Tuple[Signal, str] | None:
+    """(signal, sign) of a rendezvous CFG node, else None."""
+    stmt = node.stmt
+    if node.kind == NodeKind.SEND and isinstance(stmt, Send):
+        return (Signal(stmt.task, stmt.message), "+")
+    if node.kind == NodeKind.ACCEPT and isinstance(stmt, Accept):
+        return (Signal(task, stmt.message), "-")
+    return None
+
+
+def taylor_csg_analysis(
+    program: Program, state_limit: int = 500_000
+) -> CSGResult:
+    """Explore the full statement-level concurrency state graph.
+
+    A state maps each task to its current CFG node ("about to execute
+    it").  Internal nodes advance independently; rendezvous nodes
+    advance only in complementary pairs.  A non-final state with no
+    outgoing transition is a deadlock state (in Taylor's terminology —
+    it covers the paper's stalls too, since a stalled task blocks the
+    state the same way).
+    """
+    cfgs = build_cfgs(program)
+    order: List[TaskCFG] = [cfgs[t.name] for t in program.tasks]
+    initial: State = tuple(cfg.entry for cfg in order)
+    final_nodes = tuple(cfg.exit for cfg in order)
+
+    result = CSGResult(state_count=0, has_deadlock=False, can_terminate=False)
+    visited: Set[State] = {initial}
+    queue: deque[State] = deque([initial])
+
+    def push(state: State) -> None:
+        if state not in visited:
+            if len(visited) >= state_limit:
+                raise ExplorationLimitError(state_limit)
+            visited.add(state)
+            queue.append(state)
+
+    while queue:
+        state = queue.popleft()
+        if state == final_nodes:
+            result.can_terminate = True
+            continue
+        moved = False
+        requests: Dict[int, Tuple[Signal, str]] = {}
+        for idx, node in enumerate(state):
+            req = _request(node, order[idx].task)
+            if req is not None:
+                requests[idx] = req
+                continue
+            if node.kind == NodeKind.EXIT:
+                continue
+            for succ in order[idx].successors(node):
+                moved = True
+                nxt = list(state)
+                nxt[idx] = succ
+                push(tuple(nxt))
+        for i, (sig_i, sign_i) in requests.items():
+            if sign_i != "+":
+                continue
+            for j, (sig_j, sign_j) in requests.items():
+                if j == i or sign_j != "-" or sig_j != sig_i:
+                    continue
+                for succ_i in order[i].successors(state[i]):
+                    for succ_j in order[j].successors(state[j]):
+                        moved = True
+                        nxt = list(state)
+                        nxt[i] = succ_i
+                        nxt[j] = succ_j
+                        push(tuple(nxt))
+        if not moved:
+            result.has_deadlock = True
+            if len(result.deadlock_states) < 16:
+                result.deadlock_states.append(state)
+    result.state_count = len(visited)
+    return result

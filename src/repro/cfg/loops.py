@@ -1,0 +1,75 @@
+"""Natural-loop detection and nesting depth on task CFGs.
+
+Used by the unroll transform's cost model (Section 3.1.4: the
+double-unroll transform grows the program as
+``O(statements * 2^nest_depth)``) and by tests that validate loop
+structure after transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from ..lang.ast_nodes import For, Statement, TaskDecl, While
+from .graph import CFGNode, TaskCFG
+from .reducibility import back_edges
+
+__all__ = ["NaturalLoop", "natural_loops", "loop_nest_depth", "ast_loop_depth"]
+
+
+@dataclass(frozen=True)
+class NaturalLoop:
+    """A natural loop: its header and full body (header included)."""
+
+    header: CFGNode
+    body: FrozenSet[CFGNode]
+
+    def __contains__(self, node: CFGNode) -> bool:
+        return node in self.body
+
+
+def natural_loops(cfg: TaskCFG) -> List[NaturalLoop]:
+    """Natural loops of a (reducible) CFG, one per back edge.
+
+    Loops sharing a header are returned separately; callers that need
+    merged loops can union bodies by header.
+    """
+    loops: List[NaturalLoop] = []
+    for tail, header in back_edges(cfg):
+        body = {header, tail}
+        stack = [tail]
+        while stack:
+            node = stack.pop()
+            if node is header:
+                continue
+            for pred in cfg.predecessors(node):
+                if pred not in body:
+                    body.add(pred)
+                    stack.append(pred)
+        loops.append(NaturalLoop(header=header, body=frozenset(body)))
+    return loops
+
+
+def loop_nest_depth(cfg: TaskCFG) -> int:
+    """Maximum loop nesting depth of the CFG (0 for loop-free)."""
+    loops = natural_loops(cfg)
+    depth: Dict[CFGNode, int] = {}
+    for node in cfg.nodes:
+        depth[node] = sum(1 for loop in loops if node in loop)
+    return max(depth.values(), default=0)
+
+
+def ast_loop_depth(body: Sequence[Statement]) -> int:
+    """Maximum syntactic loop nesting depth of a statement sequence."""
+    best = 0
+    for stmt in body:
+        if isinstance(stmt, (While, For)):
+            best = max(best, 1 + ast_loop_depth(stmt.body))
+        elif hasattr(stmt, "then_body"):
+            best = max(
+                best,
+                ast_loop_depth(stmt.then_body),  # type: ignore[arg-type]
+                ast_loop_depth(stmt.else_body),  # type: ignore[attr-defined]
+            )
+    return best

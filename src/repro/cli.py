@@ -1,0 +1,156 @@
+"""Command-line interface: ``repro-analyze`` (or ``python -m repro.cli``).
+
+Examples::
+
+    repro-analyze program.adl
+    repro-analyze program.adl --algorithm naive
+    repro-analyze program.adl --algorithm exact --json
+    repro-analyze program.adl --dot sync.dot --clg-dot clg.dot
+    repro-analyze program.adl --simulate 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis.confirm import confirm_deadlock_report
+from .api import ALGORITHMS, analyze
+from .errors import ReproError
+from .interp.runtime import sample_runs
+from .syncgraph.clg import build_clg
+from .syncgraph.dot import clg_to_dot, sync_graph_to_dot
+
+__all__ = ["main", "build_arg_parser"]
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description=(
+            "Static infinite-wait anomaly detection for Ada-like "
+            "rendezvous programs (Masticola & Ryder, ICPP 1990)."
+        ),
+    )
+    parser.add_argument("source", help="path to an ADL source file, or '-' for stdin")
+    parser.add_argument(
+        "--algorithm",
+        default="refined",
+        choices=sorted(ALGORITHMS) + ["exact"],
+        help="deadlock detection algorithm (default: refined)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a machine-readable report"
+    )
+    parser.add_argument(
+        "--dot", metavar="FILE", help="write the sync graph as Graphviz DOT"
+    )
+    parser.add_argument(
+        "--clg-dot", metavar="FILE", help="write the CLG as Graphviz DOT"
+    )
+    parser.add_argument(
+        "--simulate",
+        type=int,
+        metavar="RUNS",
+        help="additionally run RUNS seeded concrete executions",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print sync graph / CLG size metrics and cost bounds",
+    )
+    parser.add_argument(
+        "--confirm",
+        action="store_true",
+        help=(
+            "escalate possible-deadlock reports to a bounded exact "
+            "search: confirm with a concrete schedule or refute"
+        ),
+    )
+    parser.add_argument(
+        "--state-limit",
+        type=int,
+        default=200_000,
+        help="state budget for --algorithm exact (default: 200000)",
+    )
+    return parser
+
+
+def _report_json(result, simulation, confirmation=None, stats=False) -> str:
+    from .reporting import analysis_result_to_dict
+
+    payload = analysis_result_to_dict(result, simulation, confirmation)
+    if stats:
+        from .syncgraph.metrics import compute_metrics
+
+        payload["metrics"] = compute_metrics(result.sync_graph).to_dict()
+    return json.dumps(payload, indent=2)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    if args.source == "-":
+        source = sys.stdin.read()
+    else:
+        path = Path(args.source)
+        if not path.exists():
+            print(f"error: no such file: {path}", file=sys.stderr)
+            return 2
+        source = path.read_text()
+
+    try:
+        result = analyze(
+            source, algorithm=args.algorithm, state_limit=args.state_limit
+        )
+        simulation = (
+            sample_runs(result.program, runs=args.simulate)
+            if args.simulate
+            else None
+        )
+        confirmation = (
+            confirm_deadlock_report(
+                result.sync_graph,
+                result.deadlock,
+                state_limit=args.state_limit,
+            )
+            if args.confirm
+            else None
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.dot:
+        Path(args.dot).write_text(sync_graph_to_dot(result.sync_graph))
+    if args.clg_dot:
+        clg = build_clg(result.sync_graph)
+        Path(args.clg_dot).write_text(clg_to_dot(clg))
+
+    if args.json:
+        print(_report_json(result, simulation, confirmation, args.stats))
+    else:
+        print(result.describe())
+        if args.stats:
+            from .syncgraph.metrics import compute_metrics
+
+            print(compute_metrics(result.sync_graph).describe())
+        if simulation is not None:
+            print(f"simulation: {simulation.describe()}")
+        if confirmation is not None:
+            print(f"confirmation: {confirmation.outcome}")
+            if confirmation.witness is not None:
+                print(confirmation.witness.describe())
+
+    certified = (
+        confirmation.final_verdict == "certified-deadlock-free"
+        if confirmation is not None
+        else result.deadlock.deadlock_free
+    )
+    return 0 if certified else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

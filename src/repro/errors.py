@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class LexError(ReproError):
+    """Raised when the ADL lexer encounters an invalid character."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(ReproError):
+    """Raised when the ADL parser encounters a malformed program."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        loc = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{loc}")
+        self.line = line
+        self.column = column
+
+
+class ValidationError(ReproError):
+    """Raised when an AST violates the paper's program model.
+
+    Examples: a ``send`` naming an unknown task, a task sending a
+    message to itself, or duplicate task names.
+    """
+
+
+class IrreducibleFlowError(ReproError):
+    """Raised when a control flow graph is not reducible.
+
+    The paper (following Hecht 1977) assumes each loop has a single
+    entry point; analyses refuse irreducible flow rather than produce
+    unsound answers.
+    """
+
+
+class AnalysisError(ReproError):
+    """Raised when a static analysis is handed input it cannot process."""
+
+
+class ExplorationLimitError(ReproError):
+    """Raised when exhaustive wave exploration exceeds its state budget.
+
+    Exhaustive exploration is exponential (the point of the paper); the
+    limit keeps the exact baseline usable as a test oracle on small
+    programs while failing loudly instead of hanging on large ones.
+    """
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(
+            f"feasible-wave exploration exceeded the budget of {limit} states"
+        )
+        self.limit = limit
+
+
+class SimulationError(ReproError):
+    """Raised when the runtime interpreter is misconfigured."""

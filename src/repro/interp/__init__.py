@@ -1,0 +1,13 @@
+"""Concrete rendezvous interpreter: the dynamic validation substrate."""
+
+from .runtime import SimulationSummary, sample_runs
+from .scheduler import Request, RunResult, TaskThread, run_program
+
+__all__ = [
+    "Request",
+    "RunResult",
+    "SimulationSummary",
+    "TaskThread",
+    "run_program",
+    "sample_runs",
+]

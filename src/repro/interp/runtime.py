@@ -1,0 +1,92 @@
+"""Sampling harness over the concrete interpreter.
+
+Static certification claims are falsifiable by running the program: a
+single stuck execution refutes "deadlock-free" (if cyclically stuck) or
+"stall-free" (if stalled).  ``sample_runs`` executes a program under
+many seeds and aggregates outcomes; the test suite uses it to
+differential-test every static analysis, and the precision benchmarks
+use it as a cheap lower bound on anomaly reachability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..lang.ast_nodes import Program
+from .scheduler import RunResult, run_program
+
+__all__ = ["SimulationSummary", "sample_runs"]
+
+
+@dataclass
+class SimulationSummary:
+    """Aggregate of many seeded runs of one program."""
+
+    runs: int
+    completed: int = 0
+    stuck: int = 0
+    deadlock_runs: int = 0
+    stall_runs: int = 0
+    observed_deadlock_tasks: Dict[str, int] = field(default_factory=dict)
+    observed_stall_tasks: Dict[str, int] = field(default_factory=dict)
+    example_deadlock: RunResult | None = None
+    example_stall: RunResult | None = None
+
+    @property
+    def ever_deadlocked(self) -> bool:
+        return self.deadlock_runs > 0
+
+    @property
+    def ever_stalled(self) -> bool:
+        return self.stall_runs > 0
+
+    @property
+    def ever_stuck(self) -> bool:
+        return self.stuck > 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.runs} runs: {self.completed} completed, "
+            f"{self.stuck} stuck ({self.deadlock_runs} deadlocked, "
+            f"{self.stall_runs} stalled)"
+        )
+
+
+def sample_runs(
+    program: Program,
+    runs: int = 100,
+    seed: int = 0,
+    max_steps: int = 100_000,
+    max_loop_iters: int = 8,
+) -> SimulationSummary:
+    """Run ``program`` under ``runs`` different scheduler seeds."""
+    summary = SimulationSummary(runs=runs)
+    for i in range(runs):
+        result = run_program(
+            program,
+            seed=seed + i,
+            max_steps=max_steps,
+            max_loop_iters=max_loop_iters,
+        )
+        if result.completed:
+            summary.completed += 1
+            continue
+        summary.stuck += 1
+        if result.is_deadlock:
+            summary.deadlock_runs += 1
+            if summary.example_deadlock is None:
+                summary.example_deadlock = result
+            for task in result.deadlock_tasks:
+                summary.observed_deadlock_tasks[task] = (
+                    summary.observed_deadlock_tasks.get(task, 0) + 1
+                )
+        if result.is_stall:
+            summary.stall_runs += 1
+            if summary.example_stall is None:
+                summary.example_stall = result
+            for task in result.stall_tasks:
+                summary.observed_stall_tasks[task] = (
+                    summary.observed_stall_tasks.get(task, 0) + 1
+                )
+    return summary

@@ -1,0 +1,364 @@
+"""Concrete execution of ADL programs: task threads and the scheduler.
+
+This is the dynamic substrate the paper's static analyses are judged
+against: it *runs* programs under the barrier rendezvous semantics —
+each task advances to its next rendezvous, a nondeterministic scheduler
+fires ready send/accept pairs, and execution either completes or gets
+stuck.  Stuck states are classified into runtime stalls and deadlocks
+using the same coupling idea as the wave model.
+
+Conditions are opaque in the language, so branch outcomes are drawn
+from a seeded RNG unless the condition names a variable with a known
+boolean value (assigned locally or bound by an ``accept m (v)``
+rendezvous, whose value is copied from the sender's variable of the
+same name — enough to execute the Figure 5(d) co-dependence pattern
+faithfully).  ``while`` loops re-draw their condition each iteration
+and are capped at ``max_loop_iters`` to guarantee termination of the
+simulation itself.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import SimulationError
+from ..lang.ast_nodes import (
+    Accept,
+    Assign,
+    Condition,
+    For,
+    If,
+    Null,
+    Program,
+    Send,
+    Signal,
+    Statement,
+    TaskDecl,
+    While,
+    walk_statements,
+)
+
+__all__ = ["Request", "TaskThread", "RunResult", "run_program"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """A pending rendezvous: what a task is currently waiting on."""
+
+    task: str
+    signal: Signal
+    sign: str  # "+" send, "-" accept
+    stmt: Statement
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.task} waiting on ({self.signal}, {self.sign})"
+
+
+class _Frame:
+    """One activation frame of a task thread."""
+
+    __slots__ = ("body", "index", "loop", "iters")
+
+    def __init__(
+        self,
+        body: Sequence[Statement],
+        loop: Optional[Union[While, For]] = None,
+        iters: int = 0,
+    ) -> None:
+        self.body = body
+        self.index = 0
+        self.loop = loop
+        self.iters = iters
+
+
+class TaskThread:
+    """Interprets one task up to its next rendezvous request."""
+
+    def __init__(
+        self,
+        task: TaskDecl,
+        rng: random.Random,
+        max_loop_iters: int = 8,
+    ) -> None:
+        self.task = task
+        self.rng = rng
+        self.max_loop_iters = max_loop_iters
+        self.env: Dict[str, object] = {}
+        self.frames: List[_Frame] = [_Frame(task.body)]
+        self.pending: Optional[Request] = None
+        self.done = False
+        self.steps = 0
+
+    # -- condition / expression evaluation --------------------------------
+
+    def _eval_condition(self, cond: Condition) -> bool:
+        if cond.text == "true":
+            return True
+        if cond.text == "false":
+            return False
+        if cond.var is not None and cond.var in self.env:
+            value = bool(self.env[cond.var])
+            return not value if cond.negated else value
+        return self.rng.random() < 0.5
+
+    def _eval_expr(self, expr: str) -> object:
+        if expr == "true":
+            return True
+        if expr == "false":
+            return False
+        if expr == "?":
+            return self.rng.random() < 0.5
+        try:
+            return int(expr)
+        except ValueError:
+            return self.env.get(expr, self.rng.random() < 0.5)
+
+    # -- stepping ---------------------------------------------------------
+
+    def advance(self) -> Optional[Request]:
+        """Run until the next rendezvous or completion.
+
+        Returns the pending request, or None when the task finished.
+        Idempotent while a request is pending.
+        """
+        if self.pending is not None:
+            return self.pending
+        while self.frames:
+            frame = self.frames[-1]
+            if frame.index >= len(frame.body):
+                self.frames.pop()
+                if frame.loop is not None and isinstance(frame.loop, While):
+                    if (
+                        frame.iters + 1 < self.max_loop_iters
+                        and self._eval_condition(frame.loop.condition)
+                    ):
+                        self.frames.append(
+                            _Frame(
+                                frame.loop.body,
+                                loop=frame.loop,
+                                iters=frame.iters + 1,
+                            )
+                        )
+                continue
+            stmt = frame.body[frame.index]
+            frame.index += 1
+            self.steps += 1
+            if isinstance(stmt, Send):
+                self.pending = Request(
+                    task=self.task.name,
+                    signal=Signal(stmt.task, stmt.message),
+                    sign="+",
+                    stmt=stmt,
+                )
+                return self.pending
+            if isinstance(stmt, Accept):
+                self.pending = Request(
+                    task=self.task.name,
+                    signal=Signal(self.task.name, stmt.message),
+                    sign="-",
+                    stmt=stmt,
+                )
+                return self.pending
+            if isinstance(stmt, Assign):
+                self.env[stmt.var] = self._eval_expr(stmt.expr)
+            elif isinstance(stmt, Null):
+                pass
+            elif isinstance(stmt, If):
+                branch = (
+                    stmt.then_body
+                    if self._eval_condition(stmt.condition)
+                    else stmt.else_body
+                )
+                if branch:
+                    self.frames.append(_Frame(branch))
+            elif isinstance(stmt, While):
+                if self._eval_condition(stmt.condition) and stmt.body:
+                    self.frames.append(_Frame(stmt.body, loop=stmt, iters=0))
+            elif isinstance(stmt, For):
+                if stmt.trip_count > 0 and stmt.body:
+                    # One fresh frame per iteration; the frames hold the
+                    # same body, so pop order is immaterial.
+                    self.frames.extend(
+                        _Frame(stmt.body) for _ in range(stmt.trip_count)
+                    )
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown statement {stmt!r}")
+        self.done = True
+        return None
+
+    def complete_rendezvous(self, partner: "TaskThread") -> None:
+        """Resolve the pending request (called by the scheduler)."""
+        if self.pending is None:
+            raise SimulationError("no pending rendezvous to complete")
+        stmt = self.pending.stmt
+        if isinstance(stmt, Accept) and stmt.binds is not None:
+            self.env[stmt.binds] = partner.env.get(
+                stmt.binds, self.rng.random() < 0.5
+            )
+        self.pending = None
+
+    def remaining_statements(self) -> Iterator[Statement]:
+        """Over-approximation of statements this task may still execute.
+
+        Includes the pending statement itself, everything after the
+        current index in each frame (recursively, both branches of
+        conditionals), and full loop bodies for loops that may iterate
+        again.  Used by runtime stuck-state classification.
+        """
+        if self.pending is not None:
+            yield self.pending.stmt
+        for frame in self.frames:
+            rest = frame.body[frame.index :]
+            yield from rest
+            yield from walk_statements(rest)
+            if frame.loop is not None:
+                yield from walk_statements(frame.loop.body)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one concrete execution."""
+
+    status: str  # "completed" | "stuck"
+    steps: int
+    trace: List[Tuple[str, str, Signal]] = field(default_factory=list)
+    waiting: Dict[str, Request] = field(default_factory=dict)
+    stall_tasks: Tuple[str, ...] = ()
+    deadlock_tasks: Tuple[str, ...] = ()
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "completed"
+
+    @property
+    def is_stall(self) -> bool:
+        return bool(self.stall_tasks)
+
+    @property
+    def is_deadlock(self) -> bool:
+        return bool(self.deadlock_tasks)
+
+
+def _classify_stuck(threads: Dict[str, TaskThread]) -> Tuple[
+    Tuple[str, ...], Tuple[str, ...]
+]:
+    """(stall_tasks, deadlock_tasks) among the waiting threads.
+
+    Task ``u`` *may be helped by* task ``v`` when ``v``'s remaining
+    statements contain a complement of ``u``'s pending request.  A task
+    nobody can help is stalled; tasks on a cycle of the may-be-helped-by
+    relation are deadlocked.
+    """
+    waiting = {
+        name: t for name, t in threads.items() if t.pending is not None
+    }
+    helpers: Dict[str, List[str]] = {}
+    for name, thread in waiting.items():
+        req = thread.pending
+        assert req is not None
+        hs: List[str] = []
+        for other_name, other in waiting.items():
+            if other_name == name:
+                continue
+            for stmt in other.remaining_statements():
+                if req.sign == "+" and isinstance(stmt, Accept):
+                    if (
+                        other_name == req.signal.task
+                        and stmt.message == req.signal.message
+                    ):
+                        hs.append(other_name)
+                        break
+                elif req.sign == "-" and isinstance(stmt, Send):
+                    if (
+                        stmt.task == req.signal.task
+                        and stmt.message == req.signal.message
+                    ):
+                        hs.append(other_name)
+                        break
+        helpers[name] = hs
+    stalls = tuple(sorted(n for n, hs in helpers.items() if not hs))
+    # Cycle detection over the helped-by graph (tiny: one node per task).
+    deadlocked: List[str] = []
+    for start in helpers:
+        if start in stalls:
+            continue
+        seen = set()
+        stack = list(helpers[start])
+        found = False
+        while stack:
+            node = stack.pop()
+            if node == start:
+                found = True
+                break
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(helpers.get(node, ()))
+        if found:
+            deadlocked.append(start)
+    return stalls, tuple(sorted(deadlocked))
+
+
+def run_program(
+    program: Program,
+    seed: int = 0,
+    max_steps: int = 100_000,
+    max_loop_iters: int = 8,
+) -> RunResult:
+    """Execute ``program`` once under a seeded random scheduler.
+
+    Procedures are inlined first, so ``call`` statements execute with
+    exact Ada internal-call semantics (same task, same rendezvous).
+    """
+    from ..transforms.inline import inline_procedures
+
+    program, _ = inline_procedures(program)
+    rng = random.Random(seed)
+    threads = {
+        task.name: TaskThread(task, random.Random(rng.random()), max_loop_iters)
+        for task in program.tasks
+    }
+    trace: List[Tuple[str, str, Signal]] = []
+    steps = 0
+    while steps < max_steps:
+        requests = {
+            name: thread.advance() for name, thread in threads.items()
+        }
+        pending = {n: r for n, r in requests.items() if r is not None}
+        if not pending:
+            return RunResult(status="completed", steps=steps, trace=trace)
+        matches: List[Tuple[str, str]] = []
+        for sname, sreq in pending.items():
+            if sreq.sign != "+":
+                continue
+            target = pending.get(sreq.signal.task)
+            if (
+                target is not None
+                and target.sign == "-"
+                and target.signal == sreq.signal
+            ):
+                matches.append((sname, sreq.signal.task))
+        if not matches:
+            stall_tasks, deadlock_tasks = _classify_stuck(threads)
+            return RunResult(
+                status="stuck",
+                steps=steps,
+                trace=trace,
+                waiting=dict(pending),
+                stall_tasks=stall_tasks,
+                deadlock_tasks=deadlock_tasks,
+            )
+        sender_name, accepter_name = rng.choice(matches)
+        sender = threads[sender_name]
+        accepter = threads[accepter_name]
+        signal = pending[sender_name].signal
+        accepter.complete_rendezvous(sender)
+        sender.complete_rendezvous(accepter)
+        trace.append((sender_name, accepter_name, signal))
+        steps += 1
+    raise SimulationError(
+        f"simulation exceeded {max_steps} rendezvous steps; "
+        "likely an unbounded loop"
+    )

@@ -1,0 +1,69 @@
+"""ADL: the Ada-like tasking language substrate.
+
+This subpackage provides everything needed to express the programs the
+paper analyzes: the AST (:mod:`.ast_nodes`), a concrete syntax with
+lexer and parser (:mod:`.lexer`, :mod:`.parser`), a pretty-printer
+(:mod:`.pretty`), semantic validation (:mod:`.validate`) and a fluent
+builder API (:mod:`.builder`).
+"""
+
+from .ast_nodes import (
+    Accept,
+    Assign,
+    Call,
+    Condition,
+    For,
+    If,
+    Null,
+    ProcDecl,
+    Program,
+    Send,
+    Signal,
+    Statement,
+    TaskDecl,
+    While,
+    statement_count,
+    walk_statements,
+)
+from .builder import ProgramBuilder, TaskBuilder
+from .compose import (
+    add_handshake,
+    parallel_compose,
+    prefix_program,
+    rename_tasks,
+)
+from .parser import parse_program, parse_task_body
+from .pretty import pretty, pretty_body
+from .validate import ValidationReport, collect_signals, validate_program
+
+__all__ = [
+    "Accept",
+    "Assign",
+    "Call",
+    "Condition",
+    "For",
+    "If",
+    "Null",
+    "ProcDecl",
+    "Program",
+    "ProgramBuilder",
+    "Send",
+    "Signal",
+    "Statement",
+    "TaskBuilder",
+    "TaskDecl",
+    "ValidationReport",
+    "While",
+    "add_handshake",
+    "collect_signals",
+    "parallel_compose",
+    "parse_program",
+    "parse_task_body",
+    "prefix_program",
+    "pretty",
+    "pretty_body",
+    "rename_tasks",
+    "statement_count",
+    "validate_program",
+    "walk_statements",
+]

@@ -1,0 +1,305 @@
+"""Abstract syntax tree for ADL, the Ada-like tasking subset of the paper.
+
+The paper's program model (Section 2) is a restriction of Ada's
+rendezvous mechanism:
+
+* statically created tasks, all activated at program start;
+* ``send`` (entry call) and ``accept`` statements, but no ``select``;
+* arbitrary intra-task control flow (conditionals and loops) that is
+  independent of other tasks;
+* all rendezvous occur in the main body of a task.
+
+The AST mirrors that model.  Statements are immutable dataclasses so
+they can be shared freely between a program and its transforms; each
+statement carries an optional ``origin`` pointer naming the statement it
+was derived from (used by the loop-unroll and branch-merge transforms to
+report provenance).
+
+Conditions are opaque: the paper assumes every control-flow path is
+executable, so a condition is just a label (possibly a variable name
+that the stall transforms of Section 5.1 can reason about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Condition",
+    "Statement",
+    "Send",
+    "Accept",
+    "Assign",
+    "If",
+    "While",
+    "For",
+    "Null",
+    "Call",
+    "ProcDecl",
+    "TaskDecl",
+    "Program",
+    "Signal",
+    "walk_statements",
+    "statement_count",
+]
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A signal ``(t, m)``: message type ``m`` directed at task ``t``.
+
+    Following the paper, any number of tasks may signal an accepting
+    task, the accepting task is named explicitly by senders, and the
+    number of message types is finite and statically discernible.
+    """
+
+    task: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"({self.task}, {self.message})"
+
+
+@dataclass(frozen=True)
+class Condition:
+    """An opaque branch/loop condition.
+
+    ``text`` is the surface syntax (``?`` denotes an unknown,
+    nondeterministic condition).  ``var`` is set when the condition is a
+    single boolean variable reference — the co-dependent stall transform
+    (Figure 5(d)) keys on that.  ``negated`` tracks a leading ``not``.
+    """
+
+    text: str = "?"
+    var: Optional[str] = None
+    negated: bool = False
+
+    @staticmethod
+    def unknown() -> "Condition":
+        return Condition(text="?")
+
+    @staticmethod
+    def of_var(name: str, negated: bool = False) -> "Condition":
+        text = f"not {name}" if negated else name
+        return Condition(text=text, var=name, negated=negated)
+
+    def negate(self) -> "Condition":
+        if self.var is not None:
+            return Condition.of_var(self.var, not self.negated)
+        return Condition(text=f"not ({self.text})")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.text
+
+
+class Statement:
+    """Base class for ADL statements (marker; no behaviour)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Send(Statement):
+    """``send t.m`` — a signaling rendezvous point ``(t, m, +)``.
+
+    The sending task suspends until the target task executes a matching
+    ``accept``.
+    """
+
+    task: str
+    message: str
+    origin: Optional["Send"] = field(default=None, compare=False, repr=False)
+
+    @property
+    def signal(self) -> Signal:
+        return Signal(self.task, self.message)
+
+
+@dataclass(frozen=True)
+class Accept(Statement):
+    """``accept m`` — an accepting rendezvous point ``(self, m, -)``.
+
+    The accepting task suspends until some task sends signal
+    ``(enclosing_task, m)``.  ``binds`` optionally names a boolean
+    variable bound by the rendezvous (used by the co-dependent stall
+    transform, Figure 5(d)).
+    """
+
+    message: str
+    binds: Optional[str] = None
+    origin: Optional["Accept"] = field(default=None, compare=False, repr=False)
+
+
+@dataclass(frozen=True)
+class Assign(Statement):
+    """``v := expr`` — an opaque local assignment.
+
+    Assignments carry no synchronization behaviour; they exist so that
+    realistic examples parse and so the co-dependent transform can track
+    where boolean variables are defined.
+    """
+
+    var: str
+    expr: str = "?"
+
+
+@dataclass(frozen=True)
+class If(Statement):
+    """``if c then ... [else ...] end if`` with opaque condition."""
+
+    condition: Condition
+    then_body: Tuple[Statement, ...]
+    else_body: Tuple[Statement, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "then_body", tuple(self.then_body))
+        object.__setattr__(self, "else_body", tuple(self.else_body))
+
+
+@dataclass(frozen=True)
+class While(Statement):
+    """``while c loop ... end loop`` with opaque condition.
+
+    Analyses never execute while loops directly: the Lemma-1 transform
+    replaces each one by two guarded copies of its body, which preserves
+    all deadlock cycles (Section 3.1.4).
+    """
+
+    condition: Condition
+    body: Tuple[Statement, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+
+
+@dataclass(frozen=True)
+class For(Statement):
+    """``for i in lo .. hi loop ... end loop`` with static bounds.
+
+    Static bounds allow *exact* full unrolling, unlike ``while`` loops
+    which require the conservative Lemma-1 transform.
+    """
+
+    var: str
+    lower: int
+    upper: int
+    body: Tuple[Statement, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+
+    @property
+    def trip_count(self) -> int:
+        return max(0, self.upper - self.lower + 1)
+
+
+@dataclass(frozen=True)
+class Null(Statement):
+    """``null`` — no-op, useful for empty branches."""
+
+
+@dataclass(frozen=True)
+class Call(Statement):
+    """``call p`` — invoke a program-level procedure.
+
+    The paper's model assumes all rendezvous occur in the task's main
+    procedure and names an interprocedural extension as future work;
+    this implementation supports non-recursive procedures by inlining
+    (:mod:`repro.transforms.inline`) before analysis, which preserves
+    the intraprocedural model exactly.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ProcDecl:
+    """A program-level procedure: shared statement sequence.
+
+    Procedures may call other procedures; recursion is rejected at
+    inline time (an unbounded call stack has no finite sync graph).
+    ``accept`` statements inside a procedure accept on behalf of the
+    *calling* task, matching Ada semantics for internal procedure calls.
+    """
+
+    name: str
+    body: Tuple[Statement, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+
+
+@dataclass(frozen=True)
+class TaskDecl:
+    """A task: a name and a statement sequence (its main body)."""
+
+    name: str
+    body: Tuple[Statement, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+
+    def with_body(self, body: Sequence[Statement]) -> "TaskDecl":
+        return replace(self, body=tuple(body))
+
+
+@dataclass(frozen=True)
+class Program:
+    """A whole ADL program: statically created tasks plus any shared
+    procedures (inlined away before analysis)."""
+
+    name: str
+    tasks: Tuple[TaskDecl, ...]
+    procedures: Tuple[ProcDecl, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tasks", tuple(self.tasks))
+        object.__setattr__(self, "procedures", tuple(self.procedures))
+
+    def task(self, name: str) -> TaskDecl:
+        for t in self.tasks:
+            if t.name == name:
+                return t
+        raise KeyError(name)
+
+    def procedure(self, name: str) -> ProcDecl:
+        for p in self.procedures:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    @property
+    def task_names(self) -> Tuple[str, ...]:
+        return tuple(t.name for t in self.tasks)
+
+    @property
+    def procedure_names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.procedures)
+
+    def with_tasks(self, tasks: Sequence[TaskDecl]) -> "Program":
+        return replace(self, tasks=tuple(tasks))
+
+
+BodyStatement = Union[Send, Accept, Assign, If, While, For, Null]
+
+
+def walk_statements(body: Sequence[Statement]) -> Iterator[Statement]:
+    """Yield every statement in ``body``, recursing into compound bodies.
+
+    Order is source order (pre-order for compound statements).
+    """
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from walk_statements(stmt.then_body)
+            yield from walk_statements(stmt.else_body)
+        elif isinstance(stmt, (While, For)):
+            yield from walk_statements(stmt.body)
+
+
+def statement_count(program: Program) -> int:
+    """Total number of statements in the program (all tasks, recursive)."""
+    return sum(
+        1 for task in program.tasks for _ in walk_statements(task.body)
+    )

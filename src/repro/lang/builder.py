@@ -1,0 +1,195 @@
+"""Fluent Python API for constructing ADL programs.
+
+Writing ASTs by hand is verbose; the builder makes corpus programs and
+generated workloads readable::
+
+    from repro.lang.builder import ProgramBuilder
+
+    pb = ProgramBuilder("handshake")
+    with pb.task("t1") as t:
+        t.send("t2", "sig1")
+        t.accept("sig2")
+    with pb.task("t2") as t:
+        t.accept("sig1")
+        t.send("t1", "sig2")
+    program = pb.build()
+
+Compound statements nest with context managers::
+
+    with t.if_() as branch:
+        t.send("t2", "a")
+        with branch.else_():
+            t.send("t2", "b")
+    with t.while_():
+        t.accept("tick")
+
+The builder validates the finished program by default.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from .ast_nodes import (
+    Accept,
+    Assign,
+    Call,
+    Condition,
+    For,
+    If,
+    Null,
+    ProcDecl,
+    Program,
+    Send,
+    Statement,
+    TaskDecl,
+    While,
+)
+from .validate import validate_program
+
+__all__ = ["ProgramBuilder", "TaskBuilder"]
+
+
+class _Branch:
+    """Handle returned by ``if_``; ``else_`` switches the target body."""
+
+    def __init__(self, task: "TaskBuilder", else_body: List[Statement]):
+        self._task = task
+        self._else_body = else_body
+
+    @contextmanager
+    def else_(self) -> Iterator[None]:
+        self._task._push(self._else_body)
+        try:
+            yield
+        finally:
+            self._task._pop()
+
+
+class TaskBuilder:
+    """Accumulates statements for one task; obtained from ``pb.task``."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._body: List[Statement] = []
+        self._stack: List[List[Statement]] = [self._body]
+
+    # -- internal body-stack plumbing -----------------------------------
+
+    def _push(self, body: List[Statement]) -> None:
+        self._stack.append(body)
+
+    def _pop(self) -> None:
+        self._stack.pop()
+
+    def _emit(self, stmt: Statement) -> None:
+        self._stack[-1].append(stmt)
+
+    # -- leaf statements -------------------------------------------------
+
+    def send(self, task: str, message: str) -> "TaskBuilder":
+        self._emit(Send(task=task, message=message))
+        return self
+
+    def accept(self, message: str, binds: Optional[str] = None) -> "TaskBuilder":
+        self._emit(Accept(message=message, binds=binds))
+        return self
+
+    def assign(self, var: str, expr: str = "?") -> "TaskBuilder":
+        self._emit(Assign(var=var, expr=expr))
+        return self
+
+    def null(self) -> "TaskBuilder":
+        self._emit(Null())
+        return self
+
+    def call(self, name: str) -> "TaskBuilder":
+        self._emit(Call(name=name))
+        return self
+
+    # -- compound statements ----------------------------------------------
+
+    @contextmanager
+    def if_(self, condition: Optional[Condition] = None) -> Iterator[_Branch]:
+        """Open an ``if``; statements emitted inside go to the then-branch.
+
+        Use the yielded handle's ``else_()`` context to fill the
+        else-branch.
+        """
+        cond = condition if condition is not None else Condition.unknown()
+        then_body: List[Statement] = []
+        else_body: List[Statement] = []
+        self._push(then_body)
+        try:
+            yield _Branch(self, else_body)
+        finally:
+            self._pop()
+            self._emit(
+                If(
+                    condition=cond,
+                    then_body=tuple(then_body),
+                    else_body=tuple(else_body),
+                )
+            )
+
+    @contextmanager
+    def while_(self, condition: Optional[Condition] = None) -> Iterator[None]:
+        cond = condition if condition is not None else Condition.unknown()
+        body: List[Statement] = []
+        self._push(body)
+        try:
+            yield
+        finally:
+            self._pop()
+            self._emit(While(condition=cond, body=tuple(body)))
+
+    @contextmanager
+    def for_(self, var: str, lower: int, upper: int) -> Iterator[None]:
+        body: List[Statement] = []
+        self._push(body)
+        try:
+            yield
+        finally:
+            self._pop()
+            self._emit(For(var=var, lower=lower, upper=upper, body=tuple(body)))
+
+    def build(self) -> TaskDecl:
+        return TaskDecl(name=self.name, body=tuple(self._body))
+
+
+class ProgramBuilder:
+    """Builds a whole :class:`~repro.lang.ast_nodes.Program`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._tasks: List[TaskDecl] = []
+        self._procedures: List[ProcDecl] = []
+
+    @contextmanager
+    def task(self, name: str) -> Iterator[TaskBuilder]:
+        tb = TaskBuilder(name)
+        yield tb
+        self._tasks.append(tb.build())
+
+    @contextmanager
+    def procedure(self, name: str) -> Iterator[TaskBuilder]:
+        """Build a shared procedure with the same statement API as a task."""
+        tb = TaskBuilder(name)
+        yield tb
+        task = tb.build()
+        self._procedures.append(ProcDecl(name=task.name, body=task.body))
+
+    def add_task(self, task: TaskDecl) -> "ProgramBuilder":
+        self._tasks.append(task)
+        return self
+
+    def build(self, validate: bool = True) -> Program:
+        program = Program(
+            name=self.name,
+            tasks=tuple(self._tasks),
+            procedures=tuple(self._procedures),
+        )
+        if validate:
+            validate_program(program)
+        return program

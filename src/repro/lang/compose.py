@@ -1,0 +1,238 @@
+"""Program composition: renaming, prefixing, and parallel combination.
+
+The paper's model has statically created tasks only, so larger systems
+are built by composing smaller ones at the source level.  These
+utilities make that mechanical: rename tasks consistently (updating
+every ``send`` target), prefix a whole program, or put several programs
+side by side as one task set.  The scaling benchmarks use them to grow
+structured workloads (grids of independent protocol instances stitched
+together with bridge handshakes).
+
+Composition interacts with analysis exactly as expected: tasks of
+disjoint sub-programs share no signals (after prefixing), so the sync
+graph of a parallel composition is the disjoint union of the parts' —
+a deadlock in any part is a deadlock of the whole.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..errors import ValidationError
+from .ast_nodes import (
+    Accept,
+    Assign,
+    Call,
+    For,
+    If,
+    Null,
+    ProcDecl,
+    Program,
+    Send,
+    Statement,
+    TaskDecl,
+    While,
+)
+from .validate import validate_program
+
+__all__ = [
+    "rename_tasks",
+    "prefix_program",
+    "parallel_compose",
+    "add_handshake",
+]
+
+
+def _rename_body(
+    body: Sequence[Statement], mapping: Mapping[str, str]
+) -> Tuple[Statement, ...]:
+    out: List[Statement] = []
+    for stmt in body:
+        if isinstance(stmt, Send):
+            out.append(
+                Send(
+                    task=mapping.get(stmt.task, stmt.task),
+                    message=stmt.message,
+                )
+            )
+        elif isinstance(stmt, If):
+            out.append(
+                If(
+                    condition=stmt.condition,
+                    then_body=_rename_body(stmt.then_body, mapping),
+                    else_body=_rename_body(stmt.else_body, mapping),
+                )
+            )
+        elif isinstance(stmt, While):
+            out.append(
+                While(
+                    condition=stmt.condition,
+                    body=_rename_body(stmt.body, mapping),
+                )
+            )
+        elif isinstance(stmt, For):
+            out.append(
+                For(
+                    var=stmt.var,
+                    lower=stmt.lower,
+                    upper=stmt.upper,
+                    body=_rename_body(stmt.body, mapping),
+                )
+            )
+        else:
+            out.append(stmt)
+    return tuple(out)
+
+
+def rename_tasks(program: Program, mapping: Mapping[str, str]) -> Program:
+    """Rename tasks per ``mapping`` and rewrite every ``send`` target.
+
+    Tasks absent from the mapping keep their names.  Raises
+    :class:`ValidationError` if the renaming introduces a collision.
+    """
+    new_names = [mapping.get(t.name, t.name) for t in program.tasks]
+    if len(set(new_names)) != len(new_names):
+        raise ValidationError("task renaming would create duplicate names")
+    tasks = tuple(
+        TaskDecl(
+            name=mapping.get(t.name, t.name),
+            body=_rename_body(t.body, mapping),
+        )
+        for t in program.tasks
+    )
+    procedures = tuple(
+        ProcDecl(name=p.name, body=_rename_body(p.body, mapping))
+        for p in program.procedures
+    )
+    return Program(name=program.name, tasks=tasks, procedures=procedures)
+
+
+def prefix_program(program: Program, prefix: str) -> Program:
+    """Prefix every task (and procedure) name with ``prefix_``."""
+    mapping = {t.name: f"{prefix}_{t.name}" for t in program.tasks}
+    renamed = rename_tasks(program, mapping)
+    # Procedure names are a separate namespace but still need disjoint
+    # names for composition.
+    proc_mapping = {p.name: f"{prefix}_{p.name}" for p in program.procedures}
+
+    def rename_calls(body: Sequence[Statement]) -> Tuple[Statement, ...]:
+        out: List[Statement] = []
+        for stmt in body:
+            if isinstance(stmt, Call):
+                out.append(Call(name=proc_mapping.get(stmt.name, stmt.name)))
+            elif isinstance(stmt, If):
+                out.append(
+                    If(
+                        condition=stmt.condition,
+                        then_body=rename_calls(stmt.then_body),
+                        else_body=rename_calls(stmt.else_body),
+                    )
+                )
+            elif isinstance(stmt, While):
+                out.append(
+                    While(
+                        condition=stmt.condition,
+                        body=rename_calls(stmt.body),
+                    )
+                )
+            elif isinstance(stmt, For):
+                out.append(
+                    For(
+                        var=stmt.var,
+                        lower=stmt.lower,
+                        upper=stmt.upper,
+                        body=rename_calls(stmt.body),
+                    )
+                )
+            else:
+                out.append(stmt)
+        return tuple(out)
+
+    tasks = tuple(
+        TaskDecl(name=t.name, body=rename_calls(t.body))
+        for t in renamed.tasks
+    )
+    procedures = tuple(
+        ProcDecl(name=proc_mapping[p.name], body=rename_calls(p.body))
+        for p in renamed.procedures
+    )
+    return Program(
+        name=f"{prefix}_{program.name}", tasks=tasks, procedures=procedures
+    )
+
+
+def parallel_compose(name: str, *programs: Program) -> Program:
+    """Combine programs into one task set (names must be disjoint)."""
+    if not programs:
+        raise ValueError("need at least one program")
+    tasks: List[TaskDecl] = []
+    procedures: List[ProcDecl] = []
+    seen_tasks: Dict[str, str] = {}
+    seen_procs: Dict[str, str] = {}
+    for program in programs:
+        for task in program.tasks:
+            if task.name in seen_tasks:
+                raise ValidationError(
+                    f"task {task.name!r} appears in both "
+                    f"{seen_tasks[task.name]!r} and {program.name!r}; "
+                    "prefix the programs first"
+                )
+            seen_tasks[task.name] = program.name
+            tasks.append(task)
+        for proc in program.procedures:
+            if proc.name in seen_procs:
+                raise ValidationError(
+                    f"procedure {proc.name!r} appears in both "
+                    f"{seen_procs[proc.name]!r} and {program.name!r}; "
+                    "prefix the programs first"
+                )
+            seen_procs[proc.name] = program.name
+            procedures.append(proc)
+    composed = Program(
+        name=name, tasks=tuple(tasks), procedures=tuple(procedures)
+    )
+    validate_program(composed)
+    return composed
+
+
+def add_handshake(
+    program: Program,
+    from_task: str,
+    to_task: str,
+    message: str,
+) -> Program:
+    """Append a bridging rendezvous: ``from_task`` signals ``to_task``.
+
+    The send goes at the end of ``from_task``, the accept at the end of
+    ``to_task`` — a sequencing bridge between composed sub-programs
+    ("part B starts its last phase only after part A finished").
+    """
+    if from_task == to_task:
+        raise ValidationError("handshake endpoints must differ")
+    tasks: List[TaskDecl] = []
+    found = {from_task: False, to_task: False}
+    for task in program.tasks:
+        if task.name == from_task:
+            found[from_task] = True
+            tasks.append(
+                TaskDecl(
+                    name=task.name,
+                    body=task.body + (Send(task=to_task, message=message),),
+                )
+            )
+        elif task.name == to_task:
+            found[to_task] = True
+            tasks.append(
+                TaskDecl(
+                    name=task.name,
+                    body=task.body + (Accept(message=message),),
+                )
+            )
+        else:
+            tasks.append(task)
+    for name, ok in found.items():
+        if not ok:
+            raise ValidationError(f"no task named {name!r}")
+    return Program(
+        name=program.name, tasks=tuple(tasks), procedures=program.procedures
+    )

@@ -1,0 +1,140 @@
+"""Semantic validation of ADL programs against the paper's model.
+
+Hard errors (:class:`~repro.errors.ValidationError`):
+
+* duplicate task names;
+* a ``send`` naming a task that does not exist;
+* a task sending a signal to itself (a self-rendezvous can never
+  complete under the barrier model and the paper's tasks never do it).
+
+Soft findings (returned, not raised):
+
+* signals that are sent but never accepted, or accepted but never sent —
+  these are legal programs but guaranteed stall candidates, and the
+  stall analysis (Section 5) reports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..errors import ValidationError
+from .ast_nodes import Accept, Call, Program, Send, Signal, walk_statements
+
+__all__ = ["ValidationReport", "validate_program", "collect_signals"]
+
+
+@dataclass
+class ValidationReport:
+    """Result of validating a program.
+
+    ``unmatched_sends`` / ``unmatched_accepts`` list signals with no
+    complementary rendezvous point anywhere in the program.
+    """
+
+    program_name: str
+    task_names: Tuple[str, ...]
+    signals: Tuple[Signal, ...]
+    unmatched_sends: Tuple[Signal, ...] = ()
+    unmatched_accepts: Tuple[Signal, ...] = ()
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def fully_matched(self) -> bool:
+        return not self.unmatched_sends and not self.unmatched_accepts
+
+
+def collect_signals(program: Program) -> Dict[Signal, Tuple[int, int]]:
+    """Count send and accept rendezvous points per signal.
+
+    Returns ``{signal: (send_count, accept_count)}`` over the whole
+    program, counting every syntactic rendezvous point (conditional or
+    not).  This is the raw input to the Lemma-3 stall count check.
+    """
+    counts: Dict[Signal, List[int]] = {}
+    for task in program.tasks:
+        for stmt in walk_statements(task.body):
+            if isinstance(stmt, Send):
+                sig = Signal(stmt.task, stmt.message)
+                counts.setdefault(sig, [0, 0])[0] += 1
+            elif isinstance(stmt, Accept):
+                sig = Signal(task.name, stmt.message)
+                counts.setdefault(sig, [0, 0])[1] += 1
+    return {sig: (c[0], c[1]) for sig, c in counts.items()}
+
+
+def validate_program(program: Program) -> ValidationReport:
+    """Validate ``program``; raise on model violations, report findings."""
+    names = [t.name for t in program.tasks]
+    seen: Set[str] = set()
+    for name in names:
+        if name in seen:
+            raise ValidationError(f"duplicate task name {name!r}")
+        seen.add(name)
+
+    proc_names: Set[str] = set()
+    for proc in program.procedures:
+        if proc.name in proc_names:
+            raise ValidationError(
+                f"duplicate procedure name {proc.name!r}"
+            )
+        proc_names.add(proc.name)
+
+    def check_calls(owner: str, body) -> None:
+        for stmt in walk_statements(body):
+            if isinstance(stmt, Call) and stmt.name not in proc_names:
+                raise ValidationError(
+                    f"{owner} calls unknown procedure {stmt.name!r}"
+                )
+
+    for proc in program.procedures:
+        check_calls(f"procedure {proc.name!r}", proc.body)
+        for stmt in walk_statements(proc.body):
+            if isinstance(stmt, Send) and stmt.task not in seen:
+                raise ValidationError(
+                    f"procedure {proc.name!r} sends to unknown task "
+                    f"{stmt.task!r}"
+                )
+
+    for task in program.tasks:
+        check_calls(f"task {task.name!r}", task.body)
+        for stmt in walk_statements(task.body):
+            if isinstance(stmt, Send):
+                if stmt.task not in seen:
+                    raise ValidationError(
+                        f"task {task.name!r} sends to unknown task "
+                        f"{stmt.task!r}"
+                    )
+                if stmt.task == task.name:
+                    raise ValidationError(
+                        f"task {task.name!r} sends signal "
+                        f"{stmt.message!r} to itself; a self-rendezvous "
+                        "can never complete"
+                    )
+
+    counts = collect_signals(program)
+    unmatched_sends = tuple(
+        sig for sig, (s, a) in sorted(counts.items(), key=_sig_key) if a == 0
+    )
+    unmatched_accepts = tuple(
+        sig for sig, (s, a) in sorted(counts.items(), key=_sig_key) if s == 0
+    )
+    warnings = [
+        f"signal {sig} is sent but never accepted" for sig in unmatched_sends
+    ] + [
+        f"signal {sig} is accepted but never sent" for sig in unmatched_accepts
+    ]
+    return ValidationReport(
+        program_name=program.name,
+        task_names=tuple(names),
+        signals=tuple(sorted(counts, key=lambda s: (s.task, s.message))),
+        unmatched_sends=unmatched_sends,
+        unmatched_accepts=unmatched_accepts,
+        warnings=warnings,
+    )
+
+
+def _sig_key(item: Tuple[Signal, Tuple[int, int]]) -> Tuple[str, str]:
+    sig = item[0]
+    return (sig.task, sig.message)

@@ -1,0 +1,29 @@
+"""Appendix-A NP-hardness machinery: CNF, DPLL, and both reductions."""
+
+from .cnf import CNF, Clause, Literal, random_cnf
+from .dpll import is_satisfiable, solve
+from .theorem2 import (
+    Theorem2Instance,
+    build_theorem2_program,
+    find_unsequenceable_cycle,
+)
+from .theorem3 import (
+    Theorem3Instance,
+    build_theorem3_graph,
+    find_constraint2_cycle,
+)
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "Literal",
+    "Theorem2Instance",
+    "Theorem3Instance",
+    "build_theorem2_program",
+    "build_theorem3_graph",
+    "find_constraint2_cycle",
+    "find_unsequenceable_cycle",
+    "is_satisfiable",
+    "random_cnf",
+    "solve",
+]

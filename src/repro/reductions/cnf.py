@@ -1,0 +1,135 @@
+"""3-CNF formulas: model, parsing helpers and random generation.
+
+Substrate for the Appendix-A NP-hardness constructions (Theorems 2 and
+3): both build synchronization structures from a 3-CNF formula such
+that a constrained deadlock cycle exists iff the formula is
+satisfiable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Literal", "Clause", "CNF", "random_cnf"]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A variable occurrence: ``var`` (1-based index) and polarity."""
+
+    var: int
+    positive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.var < 1:
+            raise ValueError("variables are 1-based")
+
+    def negate(self) -> "Literal":
+        return Literal(self.var, not self.positive)
+
+    def satisfied_by(self, assignment: Dict[int, bool]) -> Optional[bool]:
+        value = assignment.get(self.var)
+        if value is None:
+            return None
+        return value if self.positive else not value
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"x{self.var}" if self.positive else f"~x{self.var}"
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of literals (exactly 3 for the reductions)."""
+
+    literals: Tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "literals", tuple(self.literals))
+        if not self.literals:
+            raise ValueError("empty clause")
+
+    def __iter__(self) -> Iterator[Literal]:
+        return iter(self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return "(" + " | ".join(str(lit) for lit in self.literals) + ")"
+
+
+@dataclass(frozen=True)
+class CNF:
+    """A conjunction of clauses."""
+
+    clauses: Tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "clauses", tuple(self.clauses))
+        if not self.clauses:
+            raise ValueError("empty formula")
+
+    @staticmethod
+    def of(*clauses: Sequence[Tuple[int, bool]]) -> "CNF":
+        """Convenience: ``CNF.of([(1, True), (2, False), ...], ...)``."""
+        return CNF(
+            tuple(
+                Clause(tuple(Literal(v, pos) for v, pos in clause))
+                for clause in clauses
+            )
+        )
+
+    @property
+    def num_vars(self) -> int:
+        return max(lit.var for clause in self.clauses for lit in clause)
+
+    @property
+    def variables(self) -> FrozenSet[int]:
+        return frozenset(
+            lit.var for clause in self.clauses for lit in clause
+        )
+
+    def evaluate(self, assignment: Dict[int, bool]) -> bool:
+        return all(
+            any(lit.satisfied_by(assignment) for lit in clause)
+            for clause in self.clauses
+        )
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return " & ".join(str(c) for c in self.clauses)
+
+
+def random_cnf(
+    num_vars: int,
+    num_clauses: int,
+    seed: int = 0,
+    width: int = 3,
+) -> CNF:
+    """Random k-CNF with distinct variables inside each clause.
+
+    At the classic ratio ``num_clauses ≈ 4.26 * num_vars`` roughly half
+    of the generated formulas are satisfiable, which makes the
+    reduction benchmarks exercise both outcomes.
+    """
+    if num_vars < width:
+        raise ValueError(f"need at least {width} variables")
+    rng = random.Random(seed)
+    clauses: List[Clause] = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), width)
+        clauses.append(
+            Clause(
+                tuple(
+                    Literal(v, rng.random() < 0.5) for v in variables
+                )
+            )
+        )
+    return CNF(tuple(clauses))

@@ -1,0 +1,108 @@
+"""A small DPLL SAT solver — the reference oracle for the reductions.
+
+Unit propagation + pure-literal elimination + branching on the most
+frequent unassigned variable.  Plenty for the formula sizes the
+reduction benchmarks use (tens of variables); the point of Theorems 2
+and 3 is the *equivalence*, not solver performance.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .cnf import CNF, Clause, Literal
+
+__all__ = ["solve", "is_satisfiable"]
+
+
+def _simplify(
+    clauses: Tuple[Tuple[Literal, ...], ...], var: int, value: bool
+) -> Optional[Tuple[Tuple[Literal, ...], ...]]:
+    """Assign ``var := value``; None signals an empty (false) clause."""
+    out: List[Tuple[Literal, ...]] = []
+    for clause in clauses:
+        satisfied = False
+        rest: List[Literal] = []
+        for lit in clause:
+            if lit.var == var:
+                if lit.positive == value:
+                    satisfied = True
+                    break
+            else:
+                rest.append(lit)
+        if satisfied:
+            continue
+        if not rest:
+            return None
+        out.append(tuple(rest))
+    return tuple(out)
+
+
+def _dpll(
+    clauses: Tuple[Tuple[Literal, ...], ...],
+    assignment: Dict[int, bool],
+) -> Optional[Dict[int, bool]]:
+    while True:
+        if not clauses:
+            return assignment
+        # Unit propagation.
+        unit = next((c[0] for c in clauses if len(c) == 1), None)
+        if unit is not None:
+            assignment[unit.var] = unit.positive
+            reduced = _simplify(clauses, unit.var, unit.positive)
+            if reduced is None:
+                return None
+            clauses = reduced
+            continue
+        # Pure literal elimination.
+        polarity: Dict[int, Set[bool]] = {}
+        for clause in clauses:
+            for lit in clause:
+                polarity.setdefault(lit.var, set()).add(lit.positive)
+        pure = next(
+            (
+                (var, next(iter(p)))
+                for var, p in polarity.items()
+                if len(p) == 1
+            ),
+            None,
+        )
+        if pure is not None:
+            var, value = pure
+            assignment[var] = value
+            reduced = _simplify(clauses, var, value)
+            if reduced is None:  # pragma: no cover - pure can't falsify
+                return None
+            clauses = reduced
+            continue
+        break
+    counts = Counter(lit.var for clause in clauses for lit in clause)
+    var = counts.most_common(1)[0][0]
+    for value in (True, False):
+        reduced = _simplify(clauses, var, value)
+        if reduced is None:
+            continue
+        result = _dpll(reduced, {**assignment, var: value})
+        if result is not None:
+            return result
+    return None
+
+
+def solve(cnf: CNF) -> Optional[Dict[int, bool]]:
+    """A satisfying assignment, or None when unsatisfiable.
+
+    Variables eliminated by simplification keep no entry; callers that
+    need total assignments may default missing variables arbitrarily.
+    """
+    clauses = tuple(tuple(clause.literals) for clause in cnf.clauses)
+    result = _dpll(clauses, {})
+    if result is not None:
+        assert cnf.evaluate(
+            {v: result.get(v, True) for v in cnf.variables}
+        ), "DPLL returned a non-model"
+    return result
+
+
+def is_satisfiable(cnf: CNF) -> bool:
+    return solve(cnf) is not None

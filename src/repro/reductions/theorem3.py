@@ -1,0 +1,132 @@
+"""The Theorem-3 reduction: 3-SAT → deadlock cycles without
+rendezvousing head nodes (paper, Appendix A, Theorem 3).
+
+A sync *graph* (not a program: the paper notes the graph "cannot in
+general correspond to an actual program") is built so that a deadlock
+cycle valid under constraints 1 and 2 exists iff the 3-CNF formula is
+satisfiable, proving NP-completeness of exact constraint-1+2 checking.
+
+Construction: one task per literal, containing a top node and a
+signaling group with sync edges to every top node of the next clause
+group; *extra* sync edges join the top nodes of complementary literals
+of the same variable.  Those extra edges add no new cycles (a cycle
+using one would enter and leave a top node through sync edges,
+violating constraint 1b), but they disqualify inconsistent head
+choices under constraint 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Tuple
+
+from ..lang.ast_nodes import Signal
+from ..syncgraph.model import SyncGraph, SyncNode
+from .cnf import CNF, Literal
+
+__all__ = ["Theorem3Instance", "build_theorem3_graph", "find_constraint2_cycle"]
+
+
+@dataclass(frozen=True)
+class Theorem3Instance:
+    """The built reduction graph plus top-node bookkeeping."""
+
+    cnf: CNF
+    graph: SyncGraph
+    tops: Dict[Tuple[int, int], SyncNode]  # (clause, literal) 1-based
+
+
+def build_theorem3_graph(cnf: CNF) -> Theorem3Instance:
+    """Construct the Theorem-3 sync graph for a 3-CNF formula."""
+    m = len(cnf.clauses)
+    for clause in cnf.clauses:
+        if len(clause) != 3:
+            raise ValueError("the reduction requires exactly 3 literals/clause")
+    task_names = [
+        f"l_{i}_{j}" for i in range(1, m + 1) for j in (1, 2, 3)
+    ]
+    graph = SyncGraph(task_names)
+    tops: Dict[Tuple[int, int], SyncNode] = {}
+    senders: Dict[Tuple[int, int], List[SyncNode]] = {}
+
+    for i in range(1, m + 1):
+        q = (i % m) + 1
+        for j in (1, 2, 3):
+            name = f"l_{i}_{j}"
+            top = graph.add_rendezvous(
+                "accept", name, Signal(name, "top")
+            )
+            tops[(i, j)] = top
+            graph.add_control_edge(graph.b, top)
+            group: List[SyncNode] = []
+            for r in (1, 2, 3):
+                target = f"l_{q}_{r}"
+                node = graph.add_rendezvous(
+                    "send", name, Signal(target, "top")
+                )
+                graph.add_control_edge(top, node)
+                graph.add_control_edge(node, graph.e)
+                group.append(node)
+            senders[(i, j)] = group
+
+    graph.connect_sync_edges()
+
+    # Extra sync edges between complementary tops of the same variable.
+    by_polarity: Dict[Tuple[int, bool], List[SyncNode]] = {}
+    for i, clause in enumerate(cnf.clauses, start=1):
+        for j, lit in enumerate(clause.literals, start=1):
+            by_polarity.setdefault((lit.var, lit.positive), []).append(
+                tops[(i, j)]
+            )
+    for var in cnf.variables:
+        for pos_top in by_polarity.get((var, True), ()):
+            for neg_top in by_polarity.get((var, False), ()):
+                graph.add_sync_edge(pos_top, neg_top)
+
+    return Theorem3Instance(cnf=cnf, graph=graph, tops=tops)
+
+
+def find_constraint2_cycle(
+    instance: Theorem3Instance,
+) -> Optional[Dict[int, bool]]:
+    """Search for a deadlock cycle valid under constraints 1 and 2.
+
+    Enumerates one top node per clause group (``3^m`` choices) and
+    rejects choices with sync-edge-connected head pairs — constraint 2,
+    checked against the actual built graph.  The cycle through any
+    choice exists structurally (every signaling group reaches every
+    next-group top).  Returns the induced assignment or None.
+    """
+    graph = instance.graph
+    m = len(instance.cnf.clauses)
+    per_clause: List[List[Tuple[Literal, SyncNode]]] = []
+    for i, clause in enumerate(instance.cnf.clauses, start=1):
+        per_clause.append(
+            [
+                (lit, instance.tops[(i, j)])
+                for j, lit in enumerate(clause.literals, start=1)
+            ]
+        )
+    for choice in product(*per_clause):
+        heads = [node for (_, node) in choice]
+        if any(
+            graph.has_sync_edge(heads[a], heads[b])
+            for a in range(m)
+            for b in range(a + 1, m)
+        ):
+            continue
+        assignment: Dict[int, bool] = {}
+        consistent = True
+        for lit, _ in choice:
+            if assignment.get(lit.var, lit.positive) != lit.positive:
+                consistent = False
+                break
+            assignment[lit.var] = lit.positive
+        if not consistent:
+            raise AssertionError(
+                "constraint-2-valid head choice with inconsistent "
+                "literals - the complementary sync edges are incomplete"
+            )
+        return assignment
+    return None

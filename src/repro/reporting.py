@@ -1,0 +1,146 @@
+"""Structured serialization of analysis results.
+
+Every report type becomes a plain JSON-compatible dict with a stable
+schema, so downstream tooling (CI gates, dashboards, diffing between
+runs) can consume analysis output without touching library objects.
+The CLI's ``--json`` output is built from these functions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .analysis.confirm import ConfirmedReport
+from .analysis.results import DeadlockEvidence, DeadlockReport, StallReport
+from .api import AnalysisResult
+from .interp.runtime import SimulationSummary
+from .lang.validate import ValidationReport
+from .waves.witness import AnomalyWitness
+
+__all__ = [
+    "deadlock_report_to_dict",
+    "stall_report_to_dict",
+    "validation_to_dict",
+    "simulation_to_dict",
+    "witness_to_dict",
+    "confirmation_to_dict",
+    "analysis_result_to_dict",
+]
+
+SCHEMA_VERSION = 1
+
+
+def _evidence_to_dict(evidence: DeadlockEvidence) -> Dict[str, Any]:
+    return {
+        "head": str(evidence.head) if evidence.head is not None else None,
+        "tail": str(evidence.tail) if evidence.tail is not None else None,
+        "tasks": sorted(evidence.tasks),
+        "component": sorted(str(n) for n in evidence.component),
+    }
+
+
+def deadlock_report_to_dict(report: DeadlockReport) -> Dict[str, Any]:
+    return {
+        "verdict": report.verdict,
+        "algorithm": report.algorithm,
+        "deadlock_free": report.deadlock_free,
+        "loops_transformed": report.loops_transformed,
+        "heads_examined": report.heads_examined,
+        "evidence": [_evidence_to_dict(ev) for ev in report.evidence],
+        "stats": dict(report.stats),
+    }
+
+
+def stall_report_to_dict(report: StallReport) -> Dict[str, Any]:
+    return {
+        "verdict": report.verdict,
+        "method": report.method,
+        "stall_free": report.stall_free,
+        "imbalanced": {
+            str(sig): {"sends": sends, "accepts": accepts}
+            for sig, (sends, accepts) in report.imbalanced.items()
+        },
+        "transforms_applied": list(report.transforms_applied),
+        "notes": list(report.notes),
+    }
+
+
+def validation_to_dict(report: ValidationReport) -> Dict[str, Any]:
+    return {
+        "program": report.program_name,
+        "tasks": list(report.task_names),
+        "signals": [str(sig) for sig in report.signals],
+        "fully_matched": report.fully_matched,
+        "unmatched_sends": [str(s) for s in report.unmatched_sends],
+        "unmatched_accepts": [str(s) for s in report.unmatched_accepts],
+        "warnings": list(report.warnings),
+    }
+
+
+def simulation_to_dict(summary: SimulationSummary) -> Dict[str, Any]:
+    return {
+        "runs": summary.runs,
+        "completed": summary.completed,
+        "stuck": summary.stuck,
+        "deadlock_runs": summary.deadlock_runs,
+        "stall_runs": summary.stall_runs,
+        "deadlocked_tasks": dict(summary.observed_deadlock_tasks),
+        "stalled_tasks": dict(summary.observed_stall_tasks),
+    }
+
+
+def witness_to_dict(witness: AnomalyWitness) -> Dict[str, Any]:
+    return {
+        "kind": "deadlock" if witness.is_deadlock else "stall",
+        "steps": len(witness.schedule),
+        "initial_wave": [str(n) for n in witness.initial.positions],
+        "schedule": [
+            {"sender_side": str(r), "accepter_side": str(s)}
+            for r, s in witness.schedule
+        ],
+        "stuck_wave": [
+            str(n) for n in witness.classification.wave.positions
+        ],
+        "stall_nodes": [str(n) for n in witness.classification.stalls],
+        "deadlock_sets": [
+            sorted(str(n) for n in d)
+            for d in witness.classification.deadlocks
+        ],
+    }
+
+
+def confirmation_to_dict(confirmed: ConfirmedReport) -> Dict[str, Any]:
+    return {
+        "outcome": confirmed.outcome,
+        "final_verdict": confirmed.final_verdict,
+        "states_budget": confirmed.states_budget,
+        "witness": (
+            witness_to_dict(confirmed.witness)
+            if confirmed.witness is not None
+            else None
+        ),
+    }
+
+
+def analysis_result_to_dict(
+    result: AnalysisResult,
+    simulation: Optional[SimulationSummary] = None,
+    confirmation: Optional[ConfirmedReport] = None,
+) -> Dict[str, Any]:
+    """The full CLI/CI payload for one analysis run."""
+    payload: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "program": result.program.name,
+        "tasks": list(result.program.task_names),
+        "procedures": list(result.program.procedure_names),
+        "loops_transformed": result.deadlock.loops_transformed,
+        "sync_graph": result.sync_graph.stats(),
+        "deadlock": deadlock_report_to_dict(result.deadlock),
+        "stall": stall_report_to_dict(result.stall),
+        "validation": validation_to_dict(result.validation),
+    }
+    if simulation is not None:
+        payload["simulation"] = simulation_to_dict(simulation)
+    if confirmation is not None:
+        payload["confirmation"] = confirmation_to_dict(confirmation)
+    return payload

@@ -1,0 +1,24 @@
+"""Sync graph ``SG_P`` and cycle location graph ``C_P`` (paper §2, §3.1)."""
+
+from .build import build_sync_graph
+from .clg import CLG, CLGEdge, CLGNode, EdgeKind, build_clg
+from .dot import clg_to_dot, sync_graph_to_dot
+from .metrics import GraphMetrics, compute_metrics
+from .model import SIGN_ACCEPT, SIGN_SEND, SyncGraph, SyncNode
+
+__all__ = [
+    "CLG",
+    "CLGEdge",
+    "CLGNode",
+    "EdgeKind",
+    "GraphMetrics",
+    "SIGN_ACCEPT",
+    "SIGN_SEND",
+    "SyncGraph",
+    "SyncNode",
+    "build_clg",
+    "build_sync_graph",
+    "clg_to_dot",
+    "compute_metrics",
+    "sync_graph_to_dot",
+]

@@ -1,0 +1,31 @@
+"""Anomaly-preserving source transforms (paper §3.1.3–3.1.4, §5.1)."""
+
+from .branch_merge import merge_branch_rendezvous
+from .inline import call_graph, has_calls, inline_procedures
+from .codependent import (
+    CodependentPair,
+    factor_codependent,
+    find_codependent_pairs,
+)
+from .linearize import (
+    count_linearizations,
+    linearizations,
+    linearize_task_bodies,
+)
+from .unroll import has_loops, remove_loops, unroll_body
+
+__all__ = [
+    "CodependentPair",
+    "count_linearizations",
+    "factor_codependent",
+    "find_codependent_pairs",
+    "call_graph",
+    "has_calls",
+    "has_loops",
+    "inline_procedures",
+    "linearizations",
+    "linearize_task_bodies",
+    "merge_branch_rendezvous",
+    "remove_loops",
+    "unroll_body",
+]

@@ -1,0 +1,259 @@
+"""Co-dependent conditional rendezvous factoring (paper §5.1, Fig 5 d).
+
+Second stall-avoidance pattern: node ``r`` in task ``T`` executes iff a
+complementary node ``r'`` executes in task ``T'``, because the same
+boolean value controls both conditionals — computed in ``T``,
+communicated to ``T'`` by an earlier rendezvous, and never modified.
+Then ``r``/``r'`` either both execute or neither does, so the pair can
+be factored out of Lemma 3's signal counts (equivalently, both hoisted
+out of their conditionals).
+
+Detected pattern (conservative; misses are safe, reporting UNKNOWN
+downstream instead):
+
+* task ``T``: a boolean ``v`` is assigned at most once, then a
+  ``send T'.s`` communicates it, then ``if v then [... r ...]`` guards
+  a rendezvous ``r``, with a rendezvous-free else-branch;
+* task ``T'``: ``accept s (v')`` binds the value, then
+  ``if v' then [... r' ...]`` guards ``r'``;
+* ``r`` and ``r'`` are complementary points of the same signal, and
+  that signal's only rendezvous points are ``r`` and ``r'`` (so the
+  pairing is unambiguous);
+* neither ``v`` nor ``v'`` is reassigned after the communication.
+
+The transform hoists both conditionals' guarded rendezvous out (the
+paper: "r and r' can be replaced by nodes outside their respective
+conditionals"), leaving the rest of each branch in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lang.ast_nodes import (
+    Accept,
+    Assign,
+    If,
+    Program,
+    Send,
+    Signal,
+    Statement,
+    TaskDecl,
+    walk_statements,
+)
+from ..lang.validate import collect_signals
+
+__all__ = ["CodependentPair", "find_codependent_pairs", "factor_codependent"]
+
+
+@dataclass(frozen=True)
+class CodependentPair:
+    """A matched pair of co-dependent conditional rendezvous points."""
+
+    signal: Signal
+    sender_task: str
+    accepter_task: str
+    guard_var_sender: str
+    guard_var_accepter: str
+
+
+@dataclass
+class _GuardedRendezvous:
+    task: str
+    guard_var: str
+    conditional: If
+    rendezvous: Statement  # Send or Accept
+    top_index: int  # index of the conditional in the task body
+
+
+def _assignment_count(body: Sequence[Statement], var: str) -> int:
+    return sum(
+        1
+        for stmt in walk_statements(body)
+        if isinstance(stmt, Assign) and stmt.var == var
+    )
+
+
+def _bind_count(body: Sequence[Statement], var: str) -> int:
+    return sum(
+        1
+        for stmt in walk_statements(body)
+        if isinstance(stmt, Accept) and stmt.binds == var
+    )
+
+
+def _guarded_rendezvous(task: TaskDecl) -> List[_GuardedRendezvous]:
+    """Top-level ``if v then [.. rendezvous ..]`` occurrences in a task.
+
+    Only un-negated single-variable guards with a rendezvous-free else
+    branch and exactly one guarded rendezvous qualify.
+    """
+    found: List[_GuardedRendezvous] = []
+    for idx, stmt in enumerate(task.body):
+        if not isinstance(stmt, If):
+            continue
+        cond = stmt.condition
+        if cond.var is None or cond.negated:
+            continue
+        rendezvous = [
+            s for s in stmt.then_body if isinstance(s, (Send, Accept))
+        ]
+        nested = any(
+            isinstance(s, (Send, Accept))
+            for s in walk_statements(stmt.then_body)
+        )
+        else_rendezvous = any(
+            isinstance(s, (Send, Accept))
+            for s in walk_statements(stmt.else_body)
+        )
+        if len(rendezvous) != 1 or else_rendezvous:
+            continue
+        if nested and rendezvous[0] not in stmt.then_body:
+            continue
+        found.append(
+            _GuardedRendezvous(
+                task=task.name,
+                guard_var=cond.var,
+                conditional=stmt,
+                rendezvous=rendezvous[0],
+                top_index=idx,
+            )
+        )
+    return found
+
+
+def _communicates_guard(
+    sender: TaskDecl,
+    accepter: TaskDecl,
+    g_send: _GuardedRendezvous,
+    g_acc: _GuardedRendezvous,
+) -> bool:
+    """Does an earlier rendezvous pass the guard value sender→accepter?
+
+    We require an ``accept s (v')`` in the accepter before its
+    conditional, a matching ``send accepter.s`` in the sender before its
+    conditional, single definition of each guard variable, and no
+    reassignment between communication and use.
+    """
+    # The accepter's guard variable must be bound by exactly one accept.
+    binding: Optional[Accept] = None
+    for stmt in accepter.body[: g_acc.top_index]:
+        if isinstance(stmt, Accept) and stmt.binds == g_acc.guard_var:
+            binding = stmt
+    if binding is None:
+        return False
+    if _bind_count(accepter.body, g_acc.guard_var) != 1:
+        return False
+    if _assignment_count(accepter.body, g_acc.guard_var) != 0:
+        return False
+    # The sender must send that signal before its own conditional and
+    # define its guard variable exactly once (before the send).
+    sends_before = [
+        stmt
+        for stmt in sender.body[: g_send.top_index]
+        if isinstance(stmt, Send)
+        and stmt.task == accepter.name
+        and stmt.message == binding.message
+    ]
+    if not sends_before:
+        return False
+    if _assignment_count(sender.body, g_send.guard_var) > 1:
+        return False
+    return True
+
+
+def find_codependent_pairs(program: Program) -> List[CodependentPair]:
+    """Detect Figure-5(d) co-dependent conditional rendezvous pairs."""
+    counts = collect_signals(program)
+    tasks = {t.name: t for t in program.tasks}
+    guarded: Dict[str, List[_GuardedRendezvous]] = {
+        t.name: _guarded_rendezvous(t) for t in program.tasks
+    }
+    pairs: List[CodependentPair] = []
+    for task in program.tasks:
+        for g in guarded[task.name]:
+            stmt = g.rendezvous
+            if not isinstance(stmt, Send):
+                continue
+            signal = Signal(stmt.task, stmt.message)
+            if counts.get(signal) != (1, 1):
+                continue  # pairing must be unambiguous
+            target = tasks.get(stmt.task)
+            if target is None:
+                continue
+            for g_acc in guarded[target.name]:
+                acc = g_acc.rendezvous
+                if not isinstance(acc, Accept) or acc.message != stmt.message:
+                    continue
+                if _communicates_guard(task, target, g, g_acc):
+                    pairs.append(
+                        CodependentPair(
+                            signal=signal,
+                            sender_task=task.name,
+                            accepter_task=target.name,
+                            guard_var_sender=g.guard_var,
+                            guard_var_accepter=g_acc.guard_var,
+                        )
+                    )
+    return pairs
+
+
+def _hoist(task: TaskDecl, signal: Signal) -> TaskDecl:
+    """Move the guarded rendezvous of ``signal`` out of its conditional."""
+    body: List[Statement] = []
+    for stmt in task.body:
+        if isinstance(stmt, If):
+            kept: List[Statement] = []
+            hoisted: Optional[Statement] = None
+            for inner in stmt.then_body:
+                is_match = (
+                    isinstance(inner, Send)
+                    and Signal(inner.task, inner.message) == signal
+                ) or (
+                    isinstance(inner, Accept)
+                    and Signal(task.name, inner.message) == signal
+                )
+                if is_match and hoisted is None:
+                    hoisted = inner
+                else:
+                    kept.append(inner)
+            if hoisted is not None:
+                if kept or stmt.else_body:
+                    body.append(
+                        If(
+                            condition=stmt.condition,
+                            then_body=tuple(kept),
+                            else_body=stmt.else_body,
+                        )
+                    )
+                body.append(hoisted)
+                continue
+        body.append(stmt)
+    return TaskDecl(name=task.name, body=tuple(body))
+
+
+def factor_codependent(
+    program: Program,
+) -> Tuple[Program, List[CodependentPair]]:
+    """Hoist every detected co-dependent pair out of its conditionals.
+
+    Returns the transformed program and the pairs factored.  When no
+    pair is found the program is returned unchanged.
+    """
+    pairs = find_codependent_pairs(program)
+    if not pairs:
+        return program, []
+    tasks = {t.name: t for t in program.tasks}
+    for pair in pairs:
+        tasks[pair.sender_task] = _hoist(tasks[pair.sender_task], pair.signal)
+        tasks[pair.accepter_task] = _hoist(
+            tasks[pair.accepter_task], pair.signal
+        )
+    return (
+        Program(
+            name=program.name,
+            tasks=tuple(tasks[t.name] for t in program.tasks),
+        ),
+        pairs,
+    )

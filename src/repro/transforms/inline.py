@@ -1,0 +1,179 @@
+"""Procedure inlining — the interprocedural extension (paper §2).
+
+The paper's model assumes "all rendezvous occur in the main procedure
+of the task" and names an interprocedural model as future work.  We
+support non-recursive procedures by inlining every ``call p`` with the
+body of ``p`` (bottom-up over the call graph), after which the
+intraprocedural machinery applies unchanged.  This is exact for the
+synchronization behaviour: an internal (non-entry) Ada procedure call
+transfers control within the same task, so its rendezvous behave as if
+written inline.
+
+Recursion is rejected: a recursive rendezvous-carrying procedure has no
+finite sync graph (the paper's representation requires a statically
+bounded set of rendezvous points per task).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..errors import ValidationError
+from ..lang.ast_nodes import (
+    Call,
+    For,
+    If,
+    ProcDecl,
+    Program,
+    Statement,
+    TaskDecl,
+    While,
+)
+
+__all__ = ["has_calls", "inline_procedures", "call_graph"]
+
+
+def _body_has_calls(body: Sequence[Statement]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, Call):
+            return True
+        if isinstance(stmt, If):
+            if _body_has_calls(stmt.then_body) or _body_has_calls(
+                stmt.else_body
+            ):
+                return True
+        elif isinstance(stmt, (While, For)):
+            if _body_has_calls(stmt.body):
+                return True
+    return False
+
+
+def has_calls(program: Program) -> bool:
+    """True iff any task or procedure body contains a ``call``."""
+    return any(_body_has_calls(t.body) for t in program.tasks) or any(
+        _body_has_calls(p.body) for p in program.procedures
+    )
+
+
+def call_graph(program: Program) -> Dict[str, Set[str]]:
+    """procedure name → set of procedures it calls (directly)."""
+
+    def calls_in(body: Sequence[Statement]) -> Set[str]:
+        found: Set[str] = set()
+        for stmt in body:
+            if isinstance(stmt, Call):
+                found.add(stmt.name)
+            elif isinstance(stmt, If):
+                found |= calls_in(stmt.then_body)
+                found |= calls_in(stmt.else_body)
+            elif isinstance(stmt, (While, For)):
+                found |= calls_in(stmt.body)
+        return found
+
+    return {p.name: calls_in(p.body) for p in program.procedures}
+
+
+def _check_acyclic(graph: Dict[str, Set[str]]) -> None:
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in graph}
+
+    def visit(name: str, trail: List[str]) -> None:
+        color[name] = GRAY
+        for callee in graph.get(name, ()):  # unknown callees caught later
+            if callee not in color:
+                continue
+            if color[callee] == GRAY:
+                cycle = " -> ".join(trail + [name, callee])
+                raise ValidationError(
+                    f"recursive procedure call chain: {cycle}; recursion "
+                    "has no finite sync graph and cannot be inlined"
+                )
+            if color[callee] == WHITE:
+                visit(callee, trail + [name])
+        color[name] = BLACK
+
+    for name in graph:
+        if color[name] == WHITE:
+            visit(name, [])
+
+
+def _inline_body(
+    body: Sequence[Statement],
+    procedures: Dict[str, Tuple[Statement, ...]],
+) -> Tuple[Statement, ...]:
+    out: List[Statement] = []
+    for stmt in body:
+        if isinstance(stmt, Call):
+            try:
+                out.extend(procedures[stmt.name])
+            except KeyError:
+                raise ValidationError(
+                    f"call to unknown procedure {stmt.name!r}"
+                ) from None
+        elif isinstance(stmt, If):
+            out.append(
+                If(
+                    condition=stmt.condition,
+                    then_body=_inline_body(stmt.then_body, procedures),
+                    else_body=_inline_body(stmt.else_body, procedures),
+                )
+            )
+        elif isinstance(stmt, While):
+            out.append(
+                While(
+                    condition=stmt.condition,
+                    body=_inline_body(stmt.body, procedures),
+                )
+            )
+        elif isinstance(stmt, For):
+            out.append(
+                For(
+                    var=stmt.var,
+                    lower=stmt.lower,
+                    upper=stmt.upper,
+                    body=_inline_body(stmt.body, procedures),
+                )
+            )
+        else:
+            out.append(stmt)
+    return tuple(out)
+
+
+def inline_procedures(program: Program) -> Tuple[Program, bool]:
+    """Inline every procedure call; returns ``(program', changed)``.
+
+    The result has no procedures and no ``call`` statements.  Raises
+    :class:`~repro.errors.ValidationError` on recursion or calls to
+    unknown procedures.
+    """
+    if not program.procedures and not has_calls(program):
+        return program, False
+    graph = call_graph(program)
+    _check_acyclic(graph)
+
+    # Resolve procedures bottom-up: repeatedly inline until every
+    # procedure body is call-free (terminates because the call graph is
+    # acyclic).
+    resolved: Dict[str, Tuple[Statement, ...]] = {
+        p.name: p.body for p in program.procedures
+    }
+    pending = {
+        name for name, body in resolved.items() if _body_has_calls(body)
+    }
+    while pending:
+        progress = False
+        for name in sorted(pending):
+            callees = graph[name]
+            if any(c in pending for c in callees if c in resolved):
+                continue
+            resolved[name] = _inline_body(resolved[name], resolved)
+            pending.discard(name)
+            progress = True
+        if not progress:  # pragma: no cover - acyclicity guarantees progress
+            raise ValidationError("procedure inlining did not converge")
+
+    tasks = tuple(
+        TaskDecl(name=t.name, body=_inline_body(t.body, resolved))
+        for t in program.tasks
+    )
+    return Program(name=program.name, tasks=tasks, procedures=()), True

@@ -1,0 +1,115 @@
+"""Linearized executions ``P_E`` (paper, Section 3.1.3).
+
+A linearized version of ``P`` fixes every branch decision and loop
+iteration count, yielding a branch-free program that executes nodes in
+the same per-task order as some execution ``E``.  Any sync anomaly of
+``P`` exists in some ``P_E`` (and Lemma 4 characterizes stall freedom
+via balance over all feasible ``P_E``).
+
+These enumerators are exponential by nature and exist for testing and
+for the exact side of the stall benchmarks: they are deliberately
+bounded.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, List, Sequence, Tuple
+
+from ..lang.ast_nodes import (
+    Accept,
+    Assign,
+    For,
+    If,
+    Null,
+    Program,
+    Send,
+    Statement,
+    TaskDecl,
+    While,
+)
+
+__all__ = ["linearize_task_bodies", "linearizations", "count_linearizations"]
+
+
+def _body_variants(
+    body: Sequence[Statement], max_loop_iters: int
+) -> List[Tuple[Statement, ...]]:
+    """All linearized variants of one statement sequence."""
+    per_stmt: List[List[Tuple[Statement, ...]]] = []
+    for stmt in body:
+        if isinstance(stmt, If):
+            choices = _body_variants(stmt.then_body, max_loop_iters) + \
+                _body_variants(stmt.else_body, max_loop_iters)
+            per_stmt.append(choices)
+        elif isinstance(stmt, While):
+            inner = _body_variants(stmt.body, max_loop_iters)
+            choices = [()]
+            for iters in range(1, max_loop_iters + 1):
+                for combo in product(inner, repeat=iters):
+                    flattened: Tuple[Statement, ...] = ()
+                    for chunk in combo:
+                        flattened += chunk
+                    choices.append(flattened)
+            per_stmt.append(choices)
+        elif isinstance(stmt, For):
+            inner = _body_variants(stmt.body, max_loop_iters)
+            iters = stmt.trip_count
+            choices = []
+            for combo in product(inner, repeat=iters):
+                flattened = ()
+                for chunk in combo:
+                    flattened += chunk
+                choices.append(flattened)
+            per_stmt.append(choices or [()])
+        else:
+            per_stmt.append([(stmt,)])
+    variants: List[Tuple[Statement, ...]] = []
+    for combo in product(*per_stmt) if per_stmt else [()]:
+        seq: Tuple[Statement, ...] = ()
+        for chunk in combo:
+            seq += chunk
+        variants.append(seq)
+    return variants
+
+
+def linearize_task_bodies(
+    task: TaskDecl, max_loop_iters: int = 2
+) -> List[Tuple[Statement, ...]]:
+    """All linearized bodies of one task (branch-free sequences)."""
+    return _body_variants(task.body, max_loop_iters)
+
+
+def count_linearizations(program: Program, max_loop_iters: int = 2) -> int:
+    """Number of linearized programs (without materializing them)."""
+    total = 1
+    for task in program.tasks:
+        total *= len(linearize_task_bodies(task, max_loop_iters))
+    return total
+
+
+def linearizations(
+    program: Program,
+    max_loop_iters: int = 2,
+    limit: int = 10_000,
+) -> Iterator[Program]:
+    """Enumerate linearized programs ``P_E``; stops after ``limit``.
+
+    Each yielded program is branch- and loop-free (Lemma 3 applies to
+    it directly).  The combinatorial explosion this enumeration suffers
+    is the paper's argument for why exact stall certification is
+    impractical.
+    """
+    per_task = [
+        linearize_task_bodies(task, max_loop_iters) for task in program.tasks
+    ]
+    emitted = 0
+    for combo in product(*per_task):
+        if emitted >= limit:
+            return
+        tasks = tuple(
+            TaskDecl(name=task.name, body=body)
+            for task, body in zip(program.tasks, combo)
+        )
+        yield Program(name=f"{program.name}_lin{emitted}", tasks=tasks)
+        emitted += 1

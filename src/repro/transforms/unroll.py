@@ -1,0 +1,120 @@
+"""Loop removal by bounded unrolling (paper, Lemma 1 / Section 3.1.4).
+
+The CLG method needs acyclic control flow.  Lemma 1: unrolling each
+loop **twice** (recursively, innermost to outermost) yields a loop-free
+program ``T(P)`` whose sync graph contains every deadlock cycle of any
+linearized execution of ``P`` — and only cycles present in some
+linearization — so ``T`` is anomaly preserving *and* precise.
+
+The key case is a cycle entering a loop body in one iteration and
+exiting in the next: two unrolled copies provide the cross-iteration
+control path.  One copy would not; more than two adds nothing.
+
+``while`` loops become two *guarded* copies (the second nested inside
+the first — iteration 2 presupposes iteration 1)::
+
+    while c loop B end      ⇒      if c then B₁ ; if c then B₂ end if ; end if
+
+``for`` loops with static trip counts up to ``for_limit`` are unrolled
+*exactly* (no approximation at all); larger ones fall back to the
+guarded form.  Worst-case growth is ``O(statements × factor^depth)``
+(Section 3.1.4), measured by the ``bench_unroll`` experiment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..lang.ast_nodes import (
+    Condition,
+    For,
+    If,
+    Program,
+    Statement,
+    TaskDecl,
+    While,
+)
+
+__all__ = ["unroll_body", "remove_loops", "has_loops"]
+
+
+def has_loops(program: Program) -> bool:
+    """True iff any task contains a ``while`` or ``for`` statement."""
+
+    def scan(body: Sequence[Statement]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, (While, For)):
+                return True
+            if isinstance(stmt, If) and (
+                scan(stmt.then_body) or scan(stmt.else_body)
+            ):
+                return True
+        return False
+
+    return any(scan(task.body) for task in program.tasks)
+
+
+def _guarded_copies(
+    condition: Condition, body: Tuple[Statement, ...], factor: int
+) -> Statement:
+    """``factor`` nested guarded copies of an already-unrolled body."""
+    inner: Tuple[Statement, ...] = ()
+    for _ in range(factor):
+        inner = body + ((If(condition=condition, then_body=inner),) if inner else ())
+    return If(condition=condition, then_body=inner)
+
+
+def unroll_body(
+    body: Sequence[Statement], factor: int = 2, for_limit: int = 64
+) -> Tuple[Statement, ...]:
+    """Unroll all loops in ``body`` (innermost first), returning new body.
+
+    ``factor`` is the number of guarded copies per ``while`` loop
+    (Lemma 1 requires ≥ 2 for precision; 1 is provided for the ablation
+    benchmark and is *not* anomaly preserving across iterations).
+    """
+    if factor < 1:
+        raise ValueError("unroll factor must be >= 1")
+    out: List[Statement] = []
+    for stmt in body:
+        if isinstance(stmt, If):
+            out.append(
+                If(
+                    condition=stmt.condition,
+                    then_body=unroll_body(stmt.then_body, factor, for_limit),
+                    else_body=unroll_body(stmt.else_body, factor, for_limit),
+                )
+            )
+        elif isinstance(stmt, While):
+            inner = unroll_body(stmt.body, factor, for_limit)
+            out.append(_guarded_copies(stmt.condition, inner, factor))
+        elif isinstance(stmt, For):
+            inner = unroll_body(stmt.body, factor, for_limit)
+            if stmt.trip_count <= for_limit:
+                for _ in range(stmt.trip_count):
+                    out.extend(inner)
+            else:
+                out.append(_guarded_copies(Condition.unknown(), inner, factor))
+        else:
+            out.append(stmt)
+    return tuple(out)
+
+
+def remove_loops(
+    program: Program, factor: int = 2, for_limit: int = 64
+) -> Tuple[Program, bool]:
+    """Apply the Lemma-1 transform; returns ``(T(P), changed)``.
+
+    When the program is already loop-free it is returned unchanged with
+    ``changed = False``, so pipelines can record whether approximation
+    happened.
+    """
+    if not has_loops(program):
+        return program, False
+    tasks = [
+        TaskDecl(
+            name=task.name, body=unroll_body(task.body, factor, for_limit)
+        )
+        for task in program.tasks
+    ]
+    return Program(name=program.name, tasks=tuple(tasks)), True

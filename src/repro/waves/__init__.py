@@ -1,0 +1,55 @@
+"""Execution-wave semantics: the paper's dynamic model and exact oracle."""
+
+from .anomaly import (
+    WaveClassification,
+    classify_wave,
+    deadlock_sets,
+    is_anomalous,
+    stall_nodes,
+)
+from .coupling import coupled_to, coupling_graph, transitively_coupled_sets
+from .dot import wave_graph_to_dot
+from .explore import (
+    DEFAULT_STATE_LIMIT,
+    ExplorationResult,
+    exact_anomaly,
+    exact_deadlock,
+    explore,
+)
+from .wave import (
+    Wave,
+    initial_waves,
+    next_waves,
+    next_waves_with_events,
+    ready_pairs,
+)
+from .states import NodeState, StateSnapshot, label_wave, trace_states
+from .witness import AnomalyWitness, find_anomaly_witness
+
+__all__ = [
+    "DEFAULT_STATE_LIMIT",
+    "ExplorationResult",
+    "AnomalyWitness",
+    "NodeState",
+    "StateSnapshot",
+    "Wave",
+    "WaveClassification",
+    "classify_wave",
+    "coupled_to",
+    "coupling_graph",
+    "deadlock_sets",
+    "exact_anomaly",
+    "exact_deadlock",
+    "explore",
+    "initial_waves",
+    "is_anomalous",
+    "label_wave",
+    "find_anomaly_witness",
+    "next_waves",
+    "next_waves_with_events",
+    "ready_pairs",
+    "stall_nodes",
+    "trace_states",
+    "wave_graph_to_dot",
+    "transitively_coupled_sets",
+]

@@ -1,0 +1,124 @@
+"""Anomaly classification of execution waves (paper §2).
+
+``Anomalous(W)``: the wave contains at least one real rendezvous node
+and no two wave entries share a sync edge — no rendezvous can fire, yet
+some task has not terminated.
+
+An anomalous wave exhibits a *stall* at node ``r = (t, m, s)`` when no
+complementary node ``z = (t, m, s̄)`` is control-reachable from any wave
+entry: nothing can ever rendezvous with ``r`` again.
+
+It exhibits a *deadlock* when some subset ``D`` of its entries is
+cyclically coupled: each node of ``D`` waits on a control descendant of
+another node of ``D``.
+
+Theorem 1 (checked by :func:`classify_wave` and enforced in property
+tests): every node of an anomalous wave is a stall node, a deadlock
+participant, or transitively coupled to one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Set, Tuple
+
+from ..syncgraph.model import SyncGraph, SyncNode
+from .coupling import coupling_graph, transitively_coupled_sets
+from .wave import Wave, ready_pairs
+
+__all__ = ["WaveClassification", "is_anomalous", "stall_nodes", "deadlock_sets",
+           "classify_wave"]
+
+
+def is_anomalous(graph: SyncGraph, wave: Wave) -> bool:
+    """``Anomalous(W)`` exactly as defined in the paper."""
+    if not wave.real_nodes():
+        return False
+    return not ready_pairs(graph, wave)
+
+
+def stall_nodes(graph: SyncGraph, wave: Wave) -> Tuple[SyncNode, ...]:
+    """Wave entries that are stall nodes of the (anomalous) wave.
+
+    ``r`` stalls when no sync partner of ``r`` is control-reachable
+    (reflexively) from the current position of any task.  A partner
+    *on* the wave would contradict anomaly, so reflexive reachability
+    is safe.
+    """
+    stalled: List[SyncNode] = []
+    reachable: Set[SyncNode] = set()
+    for pos in wave.positions:
+        if pos.is_rendezvous:
+            reachable.add(pos)
+            reachable.update(graph.control_descendants(pos, strict=True))
+    for r in wave.positions:
+        if not r.is_rendezvous:
+            continue
+        partners = set(graph.sync_neighbors(r))
+        if not (partners & reachable):
+            stalled.append(r)
+    return tuple(stalled)
+
+
+def deadlock_sets(graph: SyncGraph, wave: Wave) -> List[FrozenSet[SyncNode]]:
+    """The deadlock sets ``D`` of the (anomalous) wave — coupling cycles."""
+    return transitively_coupled_sets(graph, wave)
+
+
+@dataclass(frozen=True)
+class WaveClassification:
+    """Full classification of one anomalous wave."""
+
+    wave: Wave
+    stalls: Tuple[SyncNode, ...]
+    deadlocks: Tuple[FrozenSet[SyncNode], ...]
+    coupled_to_anomaly: Tuple[SyncNode, ...]
+
+    @property
+    def has_stall(self) -> bool:
+        return bool(self.stalls)
+
+    @property
+    def has_deadlock(self) -> bool:
+        return bool(self.deadlocks)
+
+    @property
+    def covers_all_nodes(self) -> bool:
+        """Theorem 1: every real wave node is accounted for."""
+        accounted = set(self.stalls) | set(self.coupled_to_anomaly)
+        for d in self.deadlocks:
+            accounted |= d
+        return all(r in accounted for r in self.wave.real_nodes())
+
+
+def classify_wave(graph: SyncGraph, wave: Wave) -> WaveClassification:
+    """Classify an anomalous wave into stalls, deadlocks and coupled nodes.
+
+    Raises ``ValueError`` if the wave is not anomalous.
+    """
+    if not is_anomalous(graph, wave):
+        raise ValueError(f"wave {wave} is not anomalous")
+    stalls = stall_nodes(graph, wave)
+    deadlocks = tuple(deadlock_sets(graph, wave))
+    anchor: Set[SyncNode] = set(stalls)
+    for d in deadlocks:
+        anchor |= d
+
+    # Transitive closure of the depends-on relation into the anchor set.
+    adj = coupling_graph(graph, wave)
+    coupled: Set[SyncNode] = set()
+    changed = True
+    while changed:
+        changed = False
+        for r, deps in adj.items():
+            if r in anchor or r in coupled:
+                continue
+            if deps & (anchor | coupled):
+                coupled.add(r)
+                changed = True
+    return WaveClassification(
+        wave=wave,
+        stalls=stalls,
+        deadlocks=deadlocks,
+        coupled_to_anomaly=tuple(coupled),
+    )

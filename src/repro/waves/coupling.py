@@ -1,0 +1,98 @@
+"""Coupling relations between nodes of an execution wave (paper §2).
+
+Node ``r`` is *coupled to* node ``s`` on wave ``W`` if there is a path
+from ``s`` forward through at least one control flow edge in ``s``'s
+task, then across exactly one sync edge, arriving at ``r`` — i.e. ``r``
+may rendezvous with a node that executes after ``s``.  Transitive
+coupling chains tasks together; Theorem 1 uses them to show deadlocks
+and stalls cover all infinite waits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..syncgraph.model import SyncGraph, SyncNode
+from .wave import Wave
+
+__all__ = ["coupled_to", "coupling_graph", "transitively_coupled_sets"]
+
+
+def coupled_to(graph: SyncGraph, wave: Wave, r: SyncNode) -> FrozenSet[SyncNode]:
+    """Wave nodes ``s`` such that ``r`` is coupled to ``s``.
+
+    ``r`` is coupled to ``s`` iff some strict control descendant of ``s``
+    is a sync neighbor of ``r``.
+    """
+    result: Set[SyncNode] = set()
+    partners = set(graph.sync_neighbors(r))
+    if not partners:
+        return frozenset()
+    for s in wave.positions:
+        if s is r or not s.is_rendezvous:
+            continue
+        if partners & set(graph.control_descendants(s, strict=True)):
+            result.add(s)
+    return frozenset(result)
+
+
+def coupling_graph(
+    graph: SyncGraph, wave: Wave
+) -> Dict[SyncNode, FrozenSet[SyncNode]]:
+    """The depends-on relation of the wave: ``r -> coupled_to(r)``.
+
+    An edge ``r → s`` means ``r`` can only proceed after ``s``'s task
+    executes past ``s``.
+    """
+    return {
+        r: coupled_to(graph, wave, r)
+        for r in wave.positions
+        if r.is_rendezvous
+    }
+
+
+def transitively_coupled_sets(
+    graph: SyncGraph, wave: Wave
+) -> List[FrozenSet[SyncNode]]:
+    """Cycles of the coupling relation on ``wave``.
+
+    Each returned set is a strongly connected component of the coupling
+    graph that contains a cycle — on an anomalous wave, exactly the
+    deadlock sets ``D`` of the paper's deadlock-anomaly definition.
+    """
+    adj = coupling_graph(graph, wave)
+    # Tarjan on the tiny per-wave graph; recursion depth is bounded by
+    # the number of tasks so plain recursion is safe.
+    index: Dict[SyncNode, int] = {}
+    lowlink: Dict[SyncNode, int] = {}
+    on_stack: Set[SyncNode] = set()
+    stack: List[SyncNode] = []
+    counter = [0]
+    out: List[FrozenSet[SyncNode]] = []
+
+    def strongconnect(node: SyncNode) -> None:
+        index[node] = lowlink[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for nxt in adj.get(node, ()):  # type: ignore[call-overload]
+            if nxt not in index:
+                strongconnect(nxt)
+                lowlink[node] = min(lowlink[node], lowlink[nxt])
+            elif nxt in on_stack:
+                lowlink[node] = min(lowlink[node], index[nxt])
+        if lowlink[node] == index[node]:
+            comp: Set[SyncNode] = set()
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                comp.add(member)
+                if member is node:
+                    break
+            if len(comp) > 1 or node in adj.get(node, frozenset()):
+                out.append(frozenset(comp))
+
+    for node in adj:
+        if node not in index:
+            strongconnect(node)
+    return out

@@ -1,0 +1,86 @@
+"""Graphviz export of the feasible-wave graph.
+
+Renders ``NextWavesSet*`` as a state graph: terminal waves are doubly
+circled, anomalous waves are filled red (deadlocks) or orange (stalls),
+edges are labelled with the rendezvous that fired.  Intended for small
+programs — the wave graph *is* the exponential object the paper avoids
+building, which is exactly why pictures of it are instructive.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set, Tuple
+
+from ..errors import ExplorationLimitError
+from ..syncgraph.model import SyncGraph
+from .anomaly import classify_wave, is_anomalous
+from .wave import Wave, initial_waves, next_waves_with_events
+
+__all__ = ["wave_graph_to_dot"]
+
+
+def _short(wave: Wave) -> str:
+    parts = []
+    for node in wave.positions:
+        if node.is_rendezvous:
+            t, m, s = node.triple
+            parts.append(f"{m}{s}")
+        else:
+            parts.append("e")
+    return "(" + ", ".join(parts) + ")"
+
+
+def wave_graph_to_dot(
+    graph: SyncGraph,
+    name: str = "waves",
+    state_limit: int = 2_000,
+) -> str:
+    """Render the reachable wave graph as DOT text.
+
+    Raises :class:`ExplorationLimitError` beyond ``state_limit`` states
+    (the export is meant for illustration-sized programs).
+    """
+    ids: Dict[Wave, int] = {}
+    edges: List[Tuple[int, int, str]] = []
+    queue: deque[Wave] = deque()
+
+    def intern(wave: Wave) -> int:
+        if wave not in ids:
+            if len(ids) >= state_limit:
+                raise ExplorationLimitError(state_limit)
+            ids[wave] = len(ids)
+            queue.append(wave)
+        return ids[wave]
+
+    initials = set()
+    for wave in initial_waves(graph):
+        initials.add(intern(wave))
+    while queue:
+        wave = queue.popleft()
+        src = ids[wave]
+        for (r, s), nxt in next_waves_with_events(graph, wave):
+            label = f"{r.signal.task}.{r.signal.message}"
+            edges.append((src, intern(nxt), label))
+
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=ellipse];"]
+    for wave, idx in ids.items():
+        attrs = [f'label="{_short(wave)}"']
+        if wave.is_terminal(graph):
+            attrs.append("shape=doublecircle")
+        elif is_anomalous(graph, wave):
+            info = classify_wave(graph, wave)
+            color = "indianred" if info.has_deadlock else "orange"
+            attrs.append("style=filled")
+            attrs.append(f"fillcolor={color}")
+        if idx in initials:
+            attrs.append("penwidth=2")
+        lines.append(f"  w{idx} [{', '.join(attrs)}];")
+    seen_edges: Set[Tuple[int, int, str]] = set()
+    for src, dst, label in edges:
+        if (src, dst, label) in seen_edges:
+            continue
+        seen_edges.add((src, dst, label))
+        lines.append(f'  w{src} -> w{dst} [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,115 @@
+"""Exhaustive feasible-wave exploration — the exact, exponential baseline.
+
+``NextWavesSet*`` (the reflexive transitive closure of ``NextWavesSet``
+applied to the initial waves) enumerates every synchronization state a
+program can reach.  The state space is the product of per-task position
+sets, so this is worst-case exponential in the number of tasks — which
+is exactly why the paper develops polynomial approximations.  Here it
+serves as the ground-truth oracle for precision measurements and as the
+exponential comparator in the scaling benchmarks.
+
+Waves are memoized, so exploration terminates even when the sync graph
+has control cycles (source loops): the wave vector space is finite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..errors import ExplorationLimitError
+from ..syncgraph.model import SyncGraph, SyncNode
+from .anomaly import WaveClassification, classify_wave, is_anomalous
+from .wave import Wave, initial_waves, next_waves
+
+__all__ = ["ExplorationResult", "explore", "exact_deadlock", "exact_anomaly"]
+
+DEFAULT_STATE_LIMIT = 200_000
+
+
+@dataclass
+class ExplorationResult:
+    """Everything learned from an exhaustive exploration.
+
+    ``anomalous`` holds the classification of every anomalous feasible
+    wave.  ``can_terminate`` is True when some feasible wave has every
+    task at ``e``.
+    """
+
+    graph: SyncGraph
+    visited_count: int
+    anomalous: List[WaveClassification] = field(default_factory=list)
+    can_terminate: bool = False
+
+    @property
+    def has_anomaly(self) -> bool:
+        return bool(self.anomalous)
+
+    @property
+    def has_deadlock(self) -> bool:
+        return any(c.has_deadlock for c in self.anomalous)
+
+    @property
+    def has_stall(self) -> bool:
+        return any(c.has_stall for c in self.anomalous)
+
+    @property
+    def deadlock_waves(self) -> List[WaveClassification]:
+        return [c for c in self.anomalous if c.has_deadlock]
+
+    @property
+    def stall_waves(self) -> List[WaveClassification]:
+        return [c for c in self.anomalous if c.has_stall]
+
+    def deadlock_head_nodes(self) -> FrozenSet[SyncNode]:
+        """Union of all deadlock-set members over all feasible waves."""
+        heads: Set[SyncNode] = set()
+        for c in self.anomalous:
+            for d in c.deadlocks:
+                heads |= d
+        return frozenset(heads)
+
+
+def explore(
+    graph: SyncGraph,
+    state_limit: int = DEFAULT_STATE_LIMIT,
+) -> ExplorationResult:
+    """Enumerate ``NextWavesSet*(W_INIT)`` and classify anomalies.
+
+    Raises :class:`~repro.errors.ExplorationLimitError` when more than
+    ``state_limit`` distinct waves are reached.
+    """
+    result = ExplorationResult(graph=graph, visited_count=0)
+    visited: Set[Wave] = set()
+    queue: deque[Wave] = deque()
+    for wave in initial_waves(graph):
+        if wave not in visited:
+            visited.add(wave)
+            queue.append(wave)
+    while queue:
+        wave = queue.popleft()
+        if wave.is_terminal(graph):
+            result.can_terminate = True
+            continue
+        if is_anomalous(graph, wave):
+            result.anomalous.append(classify_wave(graph, wave))
+            continue
+        for nxt in next_waves(graph, wave):
+            if nxt not in visited:
+                if len(visited) >= state_limit:
+                    raise ExplorationLimitError(state_limit)
+                visited.add(nxt)
+                queue.append(nxt)
+    result.visited_count = len(visited)
+    return result
+
+
+def exact_deadlock(graph: SyncGraph, state_limit: int = DEFAULT_STATE_LIMIT) -> bool:
+    """True iff some feasible wave exhibits a deadlock anomaly."""
+    return explore(graph, state_limit).has_deadlock
+
+
+def exact_anomaly(graph: SyncGraph, state_limit: int = DEFAULT_STATE_LIMIT) -> bool:
+    """True iff some feasible wave is anomalous (stall or deadlock)."""
+    return explore(graph, state_limit).has_anomaly

@@ -1,0 +1,115 @@
+"""The paper's node-state model: NOT-SEEN / READY / WAITING / EXECUTED.
+
+Section 2 describes simulation as an execution wave advancing over the
+sync graph, with every node in one of four states.  This module labels
+the nodes along a concrete wave sequence (e.g. a witness schedule),
+reproducing the paper's bookkeeping exactly:
+
+* all nodes on the wave are READY or WAITING — READY iff some other
+  wave node shares a sync edge with them;
+* nodes already passed by the wave are EXECUTED;
+* everything else is NOT-SEEN.
+
+Used by examples/docs to visualize schedules and by tests as an
+executable restatement of the §2 invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..syncgraph.model import SyncGraph, SyncNode
+from .wave import Wave
+from .witness import AnomalyWitness
+
+__all__ = [
+    "NodeState",
+    "StateSnapshot",
+    "label_wave",
+    "trace_states",
+]
+
+
+class NodeState:
+    NOT_SEEN = "NOT-SEEN"
+    READY = "READY"
+    WAITING = "WAITING"
+    EXECUTED = "EXECUTED"
+
+
+@dataclass(frozen=True)
+class StateSnapshot:
+    """Node states at one point of a simulated execution."""
+
+    wave: Wave
+    states: Dict[SyncNode, str]
+
+    def of(self, node: SyncNode) -> str:
+        return self.states[node]
+
+    def ready_nodes(self) -> Tuple[SyncNode, ...]:
+        return tuple(
+            n for n, s in self.states.items() if s == NodeState.READY
+        )
+
+    def waiting_nodes(self) -> Tuple[SyncNode, ...]:
+        return tuple(
+            n for n, s in self.states.items() if s == NodeState.WAITING
+        )
+
+    def check_invariants(self, graph: SyncGraph) -> None:
+        """Assert the §2 invariants; raises AssertionError on violation."""
+        on_wave = set(self.wave.real_nodes())
+        for node, state in self.states.items():
+            if node in on_wave:
+                assert state in (NodeState.READY, NodeState.WAITING)
+            else:
+                assert state in (NodeState.NOT_SEEN, NodeState.EXECUTED)
+        for node in on_wave:
+            partners_on_wave = any(
+                other in on_wave
+                for other in graph.sync_neighbors(node)
+            )
+            expected = (
+                NodeState.READY if partners_on_wave else NodeState.WAITING
+            )
+            assert self.states[node] == expected
+
+
+def label_wave(
+    graph: SyncGraph, wave: Wave, executed: Set[SyncNode]
+) -> StateSnapshot:
+    """Label every rendezvous node for the given wave position."""
+    on_wave = set(wave.real_nodes())
+    states: Dict[SyncNode, str] = {}
+    for node in graph.rendezvous_nodes:
+        if node in on_wave:
+            ready = any(
+                other in on_wave for other in graph.sync_neighbors(node)
+            )
+            states[node] = NodeState.READY if ready else NodeState.WAITING
+        elif node in executed:
+            states[node] = NodeState.EXECUTED
+        else:
+            states[node] = NodeState.NOT_SEEN
+    return StateSnapshot(wave=wave, states=states)
+
+
+def trace_states(
+    graph: SyncGraph, witness: AnomalyWitness
+) -> List[StateSnapshot]:
+    """State snapshots along a witness schedule (one per wave).
+
+    The final snapshot has every wave node WAITING — the anomalous
+    state the witness demonstrates.
+    """
+    executed: Set[SyncNode] = set()
+    snapshots: List[StateSnapshot] = []
+    for step, wave in enumerate(witness.waves):
+        snapshots.append(label_wave(graph, wave, executed))
+        if step < len(witness.schedule):
+            r, s = witness.schedule[step]
+            executed.add(r)
+            executed.add(s)
+    return snapshots

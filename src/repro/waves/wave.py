@@ -1,0 +1,129 @@
+"""Execution waves — the paper's dynamic model (Section 2).
+
+A wave ``W`` assigns each task its *chosen potentially executable* node:
+the next rendezvous the task will attempt, or ``e`` once the task can
+terminate without further rendezvous.  Program execution is the advance
+of the wave: any pair of wave nodes joined by a sync edge may rendezvous
+nondeterministically, after which each of the two tasks advances to a
+nondeterministically chosen control successor (modelling conditional
+branches).
+
+Waves are value objects (hashable tuples) so exhaustive exploration can
+memoize them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..syncgraph.model import SyncGraph, SyncNode
+
+__all__ = ["Wave", "initial_waves", "next_waves", "next_waves_with_events", "ready_pairs"]
+
+
+@dataclass(frozen=True)
+class Wave:
+    """An execution wave: one sync-graph node per task, in task order.
+
+    ``positions[i]`` is the node of ``graph.tasks[i]`` — a rendezvous
+    node of that task or the shared ``e`` node.  (The paper also allows
+    ``b`` before the initial choice; we always materialize the choice,
+    so ``b`` never appears in a wave.)
+    """
+
+    positions: Tuple[SyncNode, ...]
+
+    def position_of(self, graph: SyncGraph, task: str) -> SyncNode:
+        return self.positions[graph.tasks.index(task)]
+
+    def replace(self, index: int, node: SyncNode) -> "Wave":
+        positions = list(self.positions)
+        positions[index] = node
+        return Wave(tuple(positions))
+
+    def is_terminal(self, graph: SyncGraph) -> bool:
+        """True iff every task has reached ``e`` (successful completion)."""
+        return all(p is graph.e for p in self.positions)
+
+    def real_nodes(self) -> Tuple[SyncNode, ...]:
+        """Wave entries that are actual rendezvous nodes (not ``e``)."""
+        return tuple(p for p in self.positions if p.is_rendezvous)
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return "<" + ", ".join(str(p) for p in self.positions) + ">"
+
+
+def initial_waves(graph: SyncGraph) -> List[Wave]:
+    """All initial waves ``W_INIT``.
+
+    For each task, the entry is one of its first-reachable rendezvous
+    points (the control successors of ``b`` in that task) or ``e`` when
+    the task has a rendezvous-free path.  The nondeterministic choice
+    models conditional branching at task entry, so the set of initial
+    waves is the cross product of the per-task options.
+    """
+    options: List[Sequence[SyncNode]] = []
+    for task in graph.tasks:
+        opts = graph.initial_options(task)
+        if not opts:
+            raise ValueError(
+                f"task {task!r} has no initial wave options; "
+                "sync graph construction is incomplete"
+            )
+        options.append(opts)
+    return [Wave(tuple(combo)) for combo in product(*options)]
+
+
+def ready_pairs(graph: SyncGraph, wave: Wave) -> List[Tuple[int, int]]:
+    """Index pairs ``(i, j)`` of wave entries that can rendezvous now."""
+    pairs: List[Tuple[int, int]] = []
+    n = len(wave.positions)
+    for i in range(n):
+        a = wave.positions[i]
+        if not a.is_rendezvous:
+            continue
+        for j in range(i + 1, n):
+            b = wave.positions[j]
+            if b.is_rendezvous and graph.has_sync_edge(a, b):
+                pairs.append((i, j))
+    return pairs
+
+
+def _advance_options(graph: SyncGraph, node: SyncNode) -> Tuple[SyncNode, ...]:
+    """Where a task may go after executing ``node``.
+
+    Control successors of a rendezvous node are its next rendezvous
+    points and/or ``e``.  The sync graph guarantees at least one (every
+    rendezvous point lies on a path to the task end).
+    """
+    succs = graph.control_successors(node)
+    if not succs:
+        raise ValueError(f"rendezvous node {node} has no control successor")
+    return succs
+
+
+def next_waves_with_events(
+    graph: SyncGraph, wave: Wave
+) -> Iterator[Tuple[Tuple[SyncNode, SyncNode], Wave]]:
+    """``NextWaves(W)`` annotated with the rendezvous pair that fired.
+
+    Yields ``((r, s), W')`` where ``{r, s}`` is the sync edge executed;
+    used by witness extraction to reconstruct concrete schedules.
+    """
+    for i, j in ready_pairs(graph, wave):
+        fired = (wave.positions[i], wave.positions[j])
+        for succ_i in _advance_options(graph, wave.positions[i]):
+            for succ_j in _advance_options(graph, wave.positions[j]):
+                yield fired, wave.replace(i, succ_i).replace(j, succ_j)
+
+
+def next_waves(graph: SyncGraph, wave: Wave) -> Iterator[Wave]:
+    """``NextWaves(W)``: every wave directly derivable from ``wave``.
+
+    One rendezvous fires per step; both participating tasks advance to
+    each combination of their control successors.
+    """
+    for _, nxt in next_waves_with_events(graph, wave):
+        yield nxt

@@ -1,0 +1,127 @@
+"""Anomaly witnesses: concrete schedules reaching an anomalous wave.
+
+The static algorithms certify or report *possible* deadlocks; a witness
+upgrades "possible" to *demonstrated*: a sequence of rendezvous, from
+program start, after which no pair of waiting tasks can ever proceed.
+Witnesses are found by breadth-first search over the wave space (so the
+schedule is shortest) with parent tracking — exponential like all exact
+analyses, bounded by a state budget.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ExplorationLimitError
+from ..syncgraph.model import SyncGraph, SyncNode
+from .anomaly import WaveClassification, classify_wave, is_anomalous
+from .wave import Wave, initial_waves, next_waves_with_events
+
+__all__ = ["AnomalyWitness", "find_anomaly_witness"]
+
+Rendezvous = Tuple[SyncNode, SyncNode]
+
+
+@dataclass(frozen=True)
+class AnomalyWitness:
+    """A shortest schedule from start to an anomalous wave.
+
+    ``schedule`` lists the rendezvous pairs fired in order; ``initial``
+    is the branch-choice starting wave; ``waves`` the full wave
+    sequence (``len(schedule) + 1`` entries, ending at the anomalous
+    wave); ``classification`` the anomaly analysis of the final wave.
+    """
+
+    initial: Wave
+    schedule: Tuple[Rendezvous, ...]
+    waves: Tuple[Wave, ...]
+    classification: WaveClassification
+
+    @property
+    def is_deadlock(self) -> bool:
+        return self.classification.has_deadlock
+
+    @property
+    def is_stall(self) -> bool:
+        return self.classification.has_stall
+
+    def describe(self) -> str:
+        lines = [f"initial wave: {self.initial}"]
+        for step, (r, s) in enumerate(self.schedule, start=1):
+            lines.append(f"  step {step}: rendezvous {r}  <->  {s}")
+        final = self.classification
+        kinds = []
+        if final.has_deadlock:
+            kinds.append("deadlock")
+        if final.has_stall:
+            kinds.append("stall")
+        lines.append(
+            f"stuck wave {final.wave} ({' + '.join(kinds) or 'anomalous'})"
+        )
+        return "\n".join(lines)
+
+
+def find_anomaly_witness(
+    graph: SyncGraph,
+    kind: str = "deadlock",
+    state_limit: int = 200_000,
+) -> Optional[AnomalyWitness]:
+    """Shortest witness of an anomaly of the requested kind, or None.
+
+    ``kind`` is ``"deadlock"``, ``"stall"`` or ``"any"``.  Returns None
+    when no reachable wave exhibits the anomaly (which, for
+    ``"deadlock"``, proves deadlock-freedom of the explored space).
+    Raises :class:`ExplorationLimitError` past the state budget.
+    """
+    if kind not in ("deadlock", "stall", "any"):
+        raise ValueError(f"unknown anomaly kind {kind!r}")
+
+    parents: Dict[Wave, Optional[Tuple[Wave, Rendezvous]]] = {}
+    queue: deque[Wave] = deque()
+    for wave in initial_waves(graph):
+        if wave not in parents:
+            parents[wave] = None
+            queue.append(wave)
+
+    def matches(classification: WaveClassification) -> bool:
+        if kind == "deadlock":
+            return classification.has_deadlock
+        if kind == "stall":
+            return classification.has_stall
+        return True
+
+    while queue:
+        wave = queue.popleft()
+        if wave.is_terminal(graph):
+            continue
+        if is_anomalous(graph, wave):
+            classification = classify_wave(graph, wave)
+            if not matches(classification):
+                continue
+            schedule: List[Rendezvous] = []
+            chain: List[Wave] = [wave]
+            cursor = wave
+            while True:
+                parent = parents[cursor]
+                if parent is None:
+                    break
+                cursor, event = parent
+                schedule.append(event)
+                chain.append(cursor)
+            schedule.reverse()
+            chain.reverse()
+            return AnomalyWitness(
+                initial=cursor,
+                schedule=tuple(schedule),
+                waves=tuple(chain),
+                classification=classification,
+            )
+        for event, nxt in next_waves_with_events(graph, wave):
+            if nxt not in parents:
+                if len(parents) >= state_limit:
+                    raise ExplorationLimitError(state_limit)
+                parents[nxt] = (wave, event)
+                queue.append(nxt)
+    return None

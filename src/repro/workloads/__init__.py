@@ -1,0 +1,42 @@
+"""Benchmark and test workloads: paper figures, patterns, random programs."""
+
+from .adl_corpus import AdlEntry, adl_corpus, load_adl
+from .corpus import CorpusEntry, paper_corpus
+from .patterns import (
+    barrier,
+    client_server,
+    crossed_pair,
+    dining_philosophers,
+    gossip_ring,
+    handshake_chain,
+    master_workers,
+    pipeline,
+    token_ring,
+)
+from .random_programs import (
+    RandomProgramConfig,
+    inject_deadlock,
+    random_program,
+    random_serializable_program,
+)
+
+__all__ = [
+    "AdlEntry",
+    "CorpusEntry",
+    "RandomProgramConfig",
+    "adl_corpus",
+    "barrier",
+    "client_server",
+    "crossed_pair",
+    "dining_philosophers",
+    "gossip_ring",
+    "handshake_chain",
+    "inject_deadlock",
+    "load_adl",
+    "master_workers",
+    "paper_corpus",
+    "pipeline",
+    "random_program",
+    "random_serializable_program",
+    "token_ring",
+]

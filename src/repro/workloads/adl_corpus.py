@@ -1,0 +1,104 @@
+"""Realistic ADL programs shipped as package data.
+
+Ten small-but-real protocols (elevator, ATM, spooler, train junction,
+chat relay, …) with ground-truth expectations, loaded from
+``repro/workloads/adl/*.adl``.  They serve as an end-to-end regression
+corpus: the source files exercise the full parser, and the manifest
+expectations are checked against exhaustive wave exploration in the
+test suite.
+
+Expectations use the *wave model* (all paths executable, loops handled
+by the Lemma-1 transform); `sensor_poll` and `watchdog` therefore
+expect stalls the runtime only exhibits on mismatched branch draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from importlib import resources
+from typing import Dict, Tuple
+
+from ..lang.ast_nodes import Program
+from ..lang.parser import parse_program
+
+__all__ = ["AdlEntry", "adl_corpus", "load_adl"]
+
+
+@dataclass(frozen=True)
+class AdlEntry:
+    """One corpus program with its wave-model expectations."""
+
+    name: str
+    source: str
+    program: Program
+    expect_deadlock: bool
+    expect_stall: bool
+    description: str
+
+
+# name -> (expect_deadlock, expect_stall, description)
+_MANIFEST: Dict[str, Tuple[bool, bool, str]] = {
+    "elevator": (False, False, "single-hub controller; deadlock-free"),
+    "bounded_buffer": (
+        False,
+        False,
+        "capacity-1 rendezvous flow control; for-loops fully unrolled",
+    ),
+    "atm": (False, False, "clean authorize-then-dispense ordering"),
+    "atm_deadlock": (
+        True,
+        False,
+        "bank demands settlement before approval: guaranteed deadlock",
+    ),
+    "printer_spooler": (
+        False,
+        False,
+        "per-user completion signals keep the spooler safe",
+    ),
+    "train_junction": (
+        False,
+        False,
+        "fixed service order with per-train request signals; without "
+        "select, sender-anonymous requests would deadlock",
+    ),
+    "sensor_poll": (
+        False,
+        True,
+        "loop iteration counts must agree; mismatched unrolled paths "
+        "stall in the wave model",
+    ),
+    "handoff_protocol": (
+        False,
+        False,
+        "shared procedure inlined into both stages",
+    ),
+    "relay_chat": (False, False, "store-and-forward relay"),
+    "watchdog": (
+        False,
+        True,
+        "skipped heartbeat stalls the watchdog; the worker is "
+        "transitively coupled to the stall, not deadlocked",
+    ),
+}
+
+
+def load_adl(name: str) -> str:
+    """Raw source text of one corpus program."""
+    package = resources.files(__package__) / "adl" / f"{name}.adl"
+    return package.read_text()
+
+
+def adl_corpus() -> Dict[str, AdlEntry]:
+    """Parse and return the whole corpus, keyed by name."""
+    corpus: Dict[str, AdlEntry] = {}
+    for name, (deadlock, stall, description) in _MANIFEST.items():
+        source = load_adl(name)
+        corpus[name] = AdlEntry(
+            name=name,
+            source=source,
+            program=parse_program(source),
+            expect_deadlock=deadlock,
+            expect_stall=stall,
+            description=description,
+        )
+    return corpus

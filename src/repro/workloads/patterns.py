@@ -1,0 +1,250 @@
+"""Classic parallel-programming patterns as ADL programs.
+
+These are the workloads the paper's introduction motivates — realistic
+rendezvous structures in which deadlocks either lurk (dining
+philosophers with symmetric pickup order) or provably cannot occur
+(pipelines, asymmetric philosophers, client–server with per-client
+signals).  All generators are parameterized so the scaling benchmarks
+can grow them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang.ast_nodes import Accept, Program, Send, Statement, TaskDecl
+
+__all__ = [
+    "barrier",
+    "dining_philosophers",
+    "gossip_ring",
+    "pipeline",
+    "client_server",
+    "token_ring",
+    "master_workers",
+    "crossed_pair",
+    "handshake_chain",
+]
+
+
+def dining_philosophers(n: int = 5, deadlock: bool = True) -> Program:
+    """``n`` philosophers and ``n`` fork tasks.
+
+    Each philosopher picks up the left fork, then the right fork, eats,
+    and puts both down; each fork serves a pickup/putdown cycle once
+    per adjacent philosopher (two cycles total — without the second
+    cycle the circular wait would degenerate into stalls instead of the
+    classic deadlock).  With ``deadlock=True`` all philosophers grab
+    left-first (circular wait); with ``deadlock=False`` the last
+    philosopher grabs right-first, the standard asymmetry fix.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 philosophers")
+    tasks: List[TaskDecl] = []
+    for i in range(n):
+        left = f"fork{i}"
+        right = f"fork{(i + 1) % n}"
+        first, second = (left, right)
+        if not deadlock and i == n - 1:
+            first, second = (right, left)
+        body = (
+            Send(task=first, message="pickup"),
+            Send(task=second, message="pickup"),
+            Send(task=first, message="putdown"),
+            Send(task=second, message="putdown"),
+        )
+        tasks.append(TaskDecl(name=f"phil{i}", body=body))
+    for i in range(n):
+        tasks.append(
+            TaskDecl(
+                name=f"fork{i}",
+                body=(
+                    Accept(message="pickup"),
+                    Accept(message="putdown"),
+                    Accept(message="pickup"),
+                    Accept(message="putdown"),
+                ),
+            )
+        )
+    suffix = "deadlock" if deadlock else "safe"
+    return Program(name=f"philosophers_{n}_{suffix}", tasks=tuple(tasks))
+
+
+def pipeline(stages: int = 3, rounds: int = 2) -> Program:
+    """A linear pipeline: stage ``k`` forwards ``rounds`` items to ``k+1``.
+
+    Deadlock-free by construction (data flows one way).
+    """
+    if stages < 2:
+        raise ValueError("need at least 2 stages")
+    tasks: List[TaskDecl] = []
+    for k in range(stages):
+        body: List[Statement] = []
+        for _ in range(rounds):
+            if k > 0:
+                body.append(Accept(message="item"))
+            if k < stages - 1:
+                body.append(Send(task=f"stage{k + 1}", message="item"))
+        tasks.append(TaskDecl(name=f"stage{k}", body=tuple(body)))
+    return Program(name=f"pipeline_{stages}x{rounds}", tasks=tuple(tasks))
+
+
+def client_server(
+    clients: int = 3, requests: int = 1, shared_reply: bool = False
+) -> Program:
+    """Clients send requests; the server replies in a fixed order.
+
+    With per-client reply signals (default) the program is
+    deadlock-free.  ``shared_reply=True`` gives every client the *same*
+    request signal while the server replies in fixed client order — the
+    classic order-sensitivity deadlock (a request accepted from the
+    "wrong" client leaves the server replying to a client that is still
+    waiting to submit).
+    """
+    if clients < 1:
+        raise ValueError("need at least 1 client")
+    server_body: List[Statement] = []
+    tasks: List[TaskDecl] = []
+    for c in range(clients):
+        req = "req" if shared_reply else f"req{c}"
+        client_body: List[Statement] = []
+        for _ in range(requests):
+            client_body.append(Send(task="server", message=req))
+            client_body.append(Accept(message="reply"))
+        tasks.append(TaskDecl(name=f"client{c}", body=tuple(client_body)))
+        for _ in range(requests):
+            server_body.append(Accept(message=req))
+            server_body.append(Send(task=f"client{c}", message="reply"))
+    tasks.append(TaskDecl(name="server", body=tuple(server_body)))
+    kind = "shared" if shared_reply else "split"
+    return Program(
+        name=f"client_server_{clients}x{requests}_{kind}", tasks=tuple(tasks)
+    )
+
+
+def token_ring(n: int = 4, laps: int = 1) -> Program:
+    """A token circulating around ``n`` tasks, ``laps`` times.
+
+    Task 0 injects the token; deadlock-free by construction.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 ring members")
+    tasks: List[TaskDecl] = []
+    for i in range(n):
+        nxt = f"ring{(i + 1) % n}"
+        body: List[Statement] = []
+        for _ in range(laps):
+            if i == 0:
+                body.append(Send(task=nxt, message="token"))
+                body.append(Accept(message="token"))
+            else:
+                body.append(Accept(message="token"))
+                body.append(Send(task=nxt, message="token"))
+        tasks.append(TaskDecl(name=f"ring{i}", body=tuple(body)))
+    return Program(name=f"token_ring_{n}x{laps}", tasks=tuple(tasks))
+
+
+def master_workers(workers: int = 3, jobs_each: int = 1) -> Program:
+    """A master hands jobs to workers and collects per-worker results."""
+    if workers < 1:
+        raise ValueError("need at least 1 worker")
+    master_body: List[Statement] = []
+    tasks: List[TaskDecl] = []
+    for w in range(workers):
+        for _ in range(jobs_each):
+            master_body.append(Send(task=f"worker{w}", message="job"))
+    for w in range(workers):
+        for _ in range(jobs_each):
+            master_body.append(Accept(message=f"done{w}"))
+    for w in range(workers):
+        worker_body: List[Statement] = []
+        for _ in range(jobs_each):
+            worker_body.append(Accept(message="job"))
+            worker_body.append(Send(task="master", message=f"done{w}"))
+        tasks.append(TaskDecl(name=f"worker{w}", body=tuple(worker_body)))
+    tasks.append(TaskDecl(name="master", body=tuple(master_body)))
+    return Program(name=f"master_workers_{workers}", tasks=tuple(tasks))
+
+
+def crossed_pair() -> Program:
+    """The minimal always-deadlocking program: two crossed sends."""
+    return Program(
+        name="crossed_pair",
+        tasks=(
+            TaskDecl(
+                name="t1",
+                body=(Send(task="t2", message="a"), Accept(message="x")),
+            ),
+            TaskDecl(
+                name="t2",
+                body=(Send(task="t1", message="x"), Accept(message="a")),
+            ),
+        ),
+    )
+
+
+def handshake_chain(n: int = 3, rounds: int = 1) -> Program:
+    """``n`` tasks; neighbours handshake in order.  Deadlock-free."""
+    if n < 2:
+        raise ValueError("need at least 2 tasks")
+    bodies: List[List[Statement]] = [[] for _ in range(n)]
+    for _ in range(rounds):
+        for i in range(n - 1):
+            bodies[i].append(Send(task=f"t{i + 1}", message=f"m{i}"))
+            bodies[i + 1].append(Accept(message=f"m{i}"))
+            bodies[i + 1].append(Send(task=f"t{i}", message=f"r{i}"))
+            bodies[i].append(Accept(message=f"r{i}"))
+    tasks = tuple(
+        TaskDecl(name=f"t{i}", body=tuple(body))
+        for i, body in enumerate(bodies)
+    )
+    return Program(name=f"handshake_chain_{n}x{rounds}", tasks=tasks)
+
+
+def barrier(n: int = 4, rounds: int = 1) -> Program:
+    """``n`` workers synchronize through a coordinator task.
+
+    Each round: every worker reports ``arrive``, then the coordinator
+    releases each with a per-worker ``resume``.  Deadlock-free: the
+    coordinator is a strict two-phase hub.
+    """
+    if n < 1:
+        raise ValueError("need at least 1 worker")
+    coord: List[Statement] = []
+    tasks: List[TaskDecl] = []
+    for _ in range(rounds):
+        for _ in range(n):
+            coord.append(Accept(message="arrive"))
+        for w in range(n):
+            coord.append(Send(task=f"worker{w}", message="resume"))
+    for w in range(n):
+        body: List[Statement] = []
+        for _ in range(rounds):
+            body.append(Send(task="coord", message="arrive"))
+            body.append(Accept(message="resume"))
+        tasks.append(TaskDecl(name=f"worker{w}", body=tuple(body)))
+    tasks.append(TaskDecl(name="coord", body=tuple(coord)))
+    return Program(name=f"barrier_{n}x{rounds}", tasks=tuple(tasks))
+
+
+def gossip_ring(n: int = 4) -> Program:
+    """Every ring member forwards a rumor once around: task ``i`` tells
+    ``i+1`` after hearing from ``i-1``; member 0 originates.
+
+    Unlike :func:`token_ring` the rumor signals are distinct per hop,
+    so the sync graph has no shared-signal ambiguity at all.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 ring members")
+    tasks: List[TaskDecl] = []
+    for i in range(n):
+        nxt = (i + 1) % n
+        body: List[Statement] = []
+        if i == 0:
+            body.append(Send(task=f"member{nxt}", message=f"rumor{i}"))
+            body.append(Accept(message=f"rumor{n - 1}"))
+        else:
+            body.append(Accept(message=f"rumor{i - 1}"))
+            body.append(Send(task=f"member{nxt}", message=f"rumor{i}"))
+        tasks.append(TaskDecl(name=f"member{i}", body=tuple(body)))
+    return Program(name=f"gossip_ring_{n}", tasks=tuple(tasks))

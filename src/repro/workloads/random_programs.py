@@ -1,0 +1,195 @@
+"""Random ADL program generators for precision and scaling benchmarks.
+
+Two families:
+
+* :func:`random_program` — unconstrained structure (conditionals,
+  loops, arbitrary signal reuse); labelled by exhaustive exploration in
+  the precision benchmarks.
+* :func:`random_serializable_program` — built by projecting a random
+  *global* rendezvous sequence onto tasks, so a completing schedule
+  exists by construction (other schedules may still deadlock, giving a
+  natural mix of subtle deadlocks and clean programs).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..lang.ast_nodes import (
+    Accept,
+    Condition,
+    If,
+    Program,
+    Send,
+    Statement,
+    TaskDecl,
+    While,
+)
+from ..lang.validate import validate_program
+
+__all__ = [
+    "RandomProgramConfig",
+    "inject_deadlock",
+    "random_program",
+    "random_serializable_program",
+]
+
+
+@dataclass(frozen=True)
+class RandomProgramConfig:
+    """Shape parameters for :func:`random_program`."""
+
+    tasks: int = 3
+    statements_per_task: int = 4
+    messages: int = 3
+    branch_prob: float = 0.2
+    loop_prob: float = 0.0
+    max_depth: int = 2
+    accept_ratio: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.tasks < 2:
+            raise ValueError("need at least 2 tasks")
+        if self.statements_per_task < 1:
+            raise ValueError("need at least 1 statement per task")
+
+
+def _random_stmt(
+    cfg: RandomProgramConfig,
+    rng: random.Random,
+    task_index: int,
+    depth: int,
+) -> Statement:
+    roll = rng.random()
+    if depth < cfg.max_depth and roll < cfg.branch_prob:
+        then_n = rng.randint(1, 2)
+        else_n = rng.randint(0, 2)
+        return If(
+            condition=Condition.unknown(),
+            then_body=tuple(
+                _random_stmt(cfg, rng, task_index, depth + 1)
+                for _ in range(then_n)
+            ),
+            else_body=tuple(
+                _random_stmt(cfg, rng, task_index, depth + 1)
+                for _ in range(else_n)
+            ),
+        )
+    if depth < cfg.max_depth and roll < cfg.branch_prob + cfg.loop_prob:
+        return While(
+            condition=Condition.unknown(),
+            body=tuple(
+                _random_stmt(cfg, rng, task_index, depth + 1)
+                for _ in range(rng.randint(1, 2))
+            ),
+        )
+    message = f"m{rng.randrange(cfg.messages)}"
+    if rng.random() < cfg.accept_ratio:
+        return Accept(message=message)
+    target = rng.randrange(cfg.tasks - 1)
+    if target >= task_index:
+        target += 1  # never send to self
+    return Send(task=f"t{target}", message=message)
+
+
+def random_program(
+    config: RandomProgramConfig, seed: int = 0
+) -> Program:
+    """A random program matching ``config``; always validates."""
+    rng = random.Random(seed)
+    tasks: List[TaskDecl] = []
+    for i in range(config.tasks):
+        body = tuple(
+            _random_stmt(config, rng, i, 0)
+            for _ in range(config.statements_per_task)
+        )
+        tasks.append(TaskDecl(name=f"t{i}", body=body))
+    program = Program(name=f"random_{seed}", tasks=tuple(tasks))
+    validate_program(program)
+    return program
+
+
+def random_serializable_program(
+    tasks: int = 3,
+    rendezvous: int = 6,
+    messages: int = 3,
+    seed: int = 0,
+    unique_messages: bool = False,
+) -> Program:
+    """Project a random global rendezvous sequence onto tasks.
+
+    Each step picks a sender/accepter pair and a message; the send is
+    appended to the sender's body and the accept to the accepter's, so
+    executing rendezvous in generation order completes the program.
+    Per-signal counts are balanced by construction (Lemma 3 certifies
+    these programs stall-free once flattened).
+
+    With ``unique_messages=True`` every rendezvous gets a fresh message
+    name, which *provably* makes the program deadlock-free under every
+    schedule: pairings are forced, so in any reachable state the
+    globally least unexecuted rendezvous has both endpoints parked
+    exactly at it (all their earlier rendezvous are globally earlier,
+    hence executed) and can fire.  With shared message names an accept
+    may pair with the "wrong" sender and subtle deadlocks appear — a
+    good labelled-mixture family for precision benchmarks.
+    """
+    if tasks < 2:
+        raise ValueError("need at least 2 tasks")
+    rng = random.Random(seed)
+    bodies: List[List[Statement]] = [[] for _ in range(tasks)]
+    for step in range(rendezvous):
+        sender, accepter = rng.sample(range(tasks), 2)
+        message = (
+            f"u{step}" if unique_messages else f"m{rng.randrange(messages)}"
+        )
+        bodies[sender].append(Send(task=f"t{accepter}", message=message))
+        bodies[accepter].append(Accept(message=message))
+    program = Program(
+        name=f"serializable_{seed}",
+        tasks=tuple(
+            TaskDecl(name=f"t{i}", body=tuple(body))
+            for i, body in enumerate(bodies)
+        ),
+    )
+    validate_program(program)
+    return program
+
+
+def inject_deadlock(program: Program, task_a: int = 0, task_b: int = 1) -> Program:
+    """Plant a guaranteed, immediately-reachable deadlock into ``program``.
+
+    Both chosen tasks get a crossed send prepended (each targeting a
+    fresh signal whose accept sits at the *end* of the other task), so
+    from the very first wave each waits on an accept the other can only
+    reach after its own prepended send — a two-task coupling cycle on
+    every schedule.  Used to measure detector safety at scales where
+    exhaustive labelling is impossible: every detector must flag the
+    result.
+    """
+    if len(program.tasks) < 2:
+        raise ValueError("need at least 2 tasks")
+    if task_a == task_b:
+        raise ValueError("tasks must differ")
+    tasks = list(program.tasks)
+    name_a, name_b = tasks[task_a].name, tasks[task_b].name
+    tasks[task_a] = TaskDecl(
+        name=name_a,
+        body=(Send(task=name_b, message="inj_ab"),)
+        + tasks[task_a].body
+        + (Accept(message="inj_ba"),),
+    )
+    tasks[task_b] = TaskDecl(
+        name=name_b,
+        body=(Send(task=name_a, message="inj_ba"),)
+        + tasks[task_b].body
+        + (Accept(message="inj_ab"),),
+    )
+    injected = Program(
+        name=f"{program.name}_injected",
+        tasks=tuple(tasks),
+        procedures=program.procedures,
+    )
+    validate_program(injected)
+    return injected

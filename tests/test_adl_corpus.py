@@ -1,0 +1,94 @@
+"""The realistic ADL regression corpus."""
+
+import pytest
+
+import repro
+from repro.interp.runtime import sample_runs
+from repro.syncgraph.build import build_sync_graph
+from repro.transforms.inline import inline_procedures
+from repro.transforms.unroll import remove_loops
+from repro.waves.explore import explore
+from repro.workloads.adl_corpus import adl_corpus, load_adl
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return adl_corpus()
+
+
+class TestCorpusIntegrity:
+    def test_all_entries_present(self, corpus):
+        assert len(corpus) == 10
+
+    def test_sources_parse_and_match_names(self, corpus):
+        for name, entry in corpus.items():
+            assert entry.program.name == name
+
+    def test_load_adl_returns_source(self):
+        assert "program elevator;" in load_adl("elevator")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(FileNotFoundError):
+            load_adl("nonexistent")
+
+
+class TestExpectations:
+    def test_wave_model_expectations(self, corpus):
+        for name, entry in corpus.items():
+            program, _ = inline_procedures(entry.program)
+            program, _ = remove_loops(program)
+            result = explore(build_sync_graph(program))
+            assert result.has_deadlock == entry.expect_deadlock, name
+            assert result.has_stall == entry.expect_stall, name
+
+    def test_detectors_are_safe_on_corpus(self, corpus):
+        for name, entry in corpus.items():
+            result = repro.analyze(entry.source)
+            if entry.expect_deadlock:
+                assert not result.deadlock.deadlock_free, name
+
+    def test_atm_deadlock_always_sticks_at_runtime(self, corpus):
+        summary = sample_runs(corpus["atm_deadlock"].program, runs=30)
+        assert summary.completed == 0
+        assert summary.deadlock_runs == 30
+
+    def test_clean_protocols_complete_at_runtime(self, corpus):
+        for name in ("elevator", "atm", "printer_spooler", "relay_chat",
+                     "train_junction", "handoff_protocol",
+                     "bounded_buffer"):
+            summary = sample_runs(corpus[name].program, runs=25)
+            assert summary.stuck == 0, name
+
+    def test_watchdog_stall_is_branch_dependent(self, corpus):
+        summary = sample_runs(corpus["watchdog"].program, runs=60)
+        assert summary.stall_runs > 0
+        assert summary.completed > 0
+        assert summary.deadlock_runs == 0
+
+
+class TestEndToEnd:
+    def test_refined_certifies_the_clean_hub_protocols(self, corpus):
+        for name in ("elevator", "atm", "relay_chat", "printer_spooler"):
+            result = repro.analyze(corpus[name].source)
+            assert result.deadlock.deadlock_free, name
+
+    def test_train_junction_is_an_honest_false_alarm(self, corpus):
+        # the shared 'release' signal creates cross-train cycles no
+        # polynomial variant eliminates; the confirmation pass refutes
+        result = repro.analyze(corpus["train_junction"].source)
+        assert not result.deadlock.deadlock_free
+
+    def test_confirmation_settles_every_alarm(self, corpus):
+        from repro.analysis.confirm import (
+            ConfirmationOutcome,
+            confirm_deadlock_report,
+        )
+
+        for name, entry in corpus.items():
+            result = repro.analyze(entry.source)
+            confirmed = confirm_deadlock_report(
+                result.sync_graph, result.deadlock
+            )
+            assert confirmed.outcome != ConfirmationOutcome.INCONCLUSIVE
+            if entry.expect_deadlock:
+                assert confirmed.outcome == ConfirmationOutcome.CONFIRMED

@@ -1,0 +1,70 @@
+"""High-level API tests."""
+
+import pytest
+
+import repro
+from repro.analysis.results import StallVerdict, Verdict
+from repro.api import ALGORITHMS, analyze, certify_deadlock_free, certify_stall_free
+from repro.errors import AnalysisError
+
+
+class TestAnalyze:
+    def test_accepts_source_text(self):
+        result = analyze(
+            "program p; task a is begin send b.m; end;"
+            "task b is begin accept m; end;"
+        )
+        assert result.deadlock.deadlock_free
+        assert result.stall.stall_free
+
+    def test_accepts_parsed_program(self, handshake):
+        assert analyze(handshake).deadlock.deadlock_free
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_every_algorithm_runs(self, algorithm, crossed):
+        result = analyze(crossed, algorithm=algorithm)
+        assert not result.deadlock.deadlock_free
+
+    def test_exact_algorithm(self, crossed, handshake):
+        assert not analyze(crossed, algorithm="exact").deadlock.deadlock_free
+        assert analyze(handshake, algorithm="exact").deadlock.deadlock_free
+
+    def test_unknown_algorithm_rejected(self, handshake):
+        with pytest.raises(AnalysisError, match="unknown algorithm"):
+            analyze(handshake, algorithm="quantum")
+
+    def test_loops_auto_transformed(self):
+        result = analyze(
+            "program p;"
+            "task a is begin while ? loop send b.m; end loop; end;"
+            "task b is begin while ? loop accept m; end loop; end;"
+        )
+        assert result.deadlock.loops_transformed
+        assert result.loops_transformed
+
+    def test_validation_included(self):
+        result = analyze(
+            "program p; task a is begin send b.m; end;"
+            "task b is begin null; end;"
+        )
+        assert result.validation.warnings
+        assert result.stall.verdict == StallVerdict.POSSIBLE_STALL
+
+    def test_describe_mentions_verdicts(self, handshake):
+        text = analyze(handshake).describe()
+        assert Verdict.CERTIFIED_FREE in text
+        assert "stall" in text
+
+
+class TestConvenience:
+    def test_certify_deadlock_free(self, handshake, crossed):
+        assert certify_deadlock_free(handshake)
+        assert not certify_deadlock_free(crossed)
+
+    def test_certify_stall_free(self, handshake, stall_program):
+        assert certify_stall_free(handshake)
+        assert not certify_stall_free(stall_program)
+
+    def test_package_level_exports(self):
+        assert repro.analyze is analyze
+        assert repro.__version__

@@ -1,0 +1,141 @@
+"""AST utilities, the builder API, and the pretty-printer round trip."""
+
+import pytest
+
+from repro.lang.ast_nodes import (
+    Accept,
+    Condition,
+    If,
+    Null,
+    Program,
+    Send,
+    Signal,
+    TaskDecl,
+    While,
+    statement_count,
+    walk_statements,
+)
+from repro.lang.builder import ProgramBuilder
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty
+
+
+class TestWalk:
+    def test_walk_flat(self):
+        body = (Send(task="t", message="m"), Null())
+        assert list(walk_statements(body)) == [body[0], body[1]]
+
+    def test_walk_recurses_into_compounds(self):
+        inner = Accept(message="x")
+        body = (
+            If(
+                condition=Condition.unknown(),
+                then_body=(inner,),
+                else_body=(Null(),),
+            ),
+            While(condition=Condition.unknown(), body=(Send("t", "m"),)),
+        )
+        found = list(walk_statements(body))
+        assert inner in found
+        assert Send("t", "m") in found
+        assert len(found) == 5
+
+    def test_statement_count(self):
+        p = parse_program(
+            "program p; task t is begin "
+            "if ? then null; null; else null; end if; "
+            "end;"
+        )
+        assert statement_count(p) == 4
+
+
+class TestProgramAccessors:
+    def test_task_lookup(self):
+        p = parse_program("program p; task a is begin end; task b is begin end;")
+        assert p.task("b").name == "b"
+        with pytest.raises(KeyError):
+            p.task("missing")
+
+    def test_signal_str(self):
+        assert str(Signal("t", "m")) == "(t, m)"
+
+    def test_condition_negate_roundtrip(self):
+        c = Condition.of_var("v")
+        assert c.negate().negated
+        assert c.negate().negate() == c
+
+
+class TestBuilder:
+    def test_flat_program(self):
+        pb = ProgramBuilder("p")
+        with pb.task("t1") as t:
+            t.send("t2", "a").accept("b")
+        with pb.task("t2") as t:
+            t.accept("a").send("t1", "b")
+        p = pb.build()
+        assert p.task("t1").body == (
+            Send(task="t2", message="a"),
+            Accept(message="b"),
+        )
+
+    def test_if_else_builder(self):
+        pb = ProgramBuilder("p")
+        with pb.task("t1") as t:
+            with t.if_() as branch:
+                t.send("t2", "a")
+                with branch.else_():
+                    t.null()
+        with pb.task("t2") as t:
+            t.accept("a")
+        p = pb.build()
+        stmt = p.task("t1").body[0]
+        assert isinstance(stmt, If)
+        assert stmt.then_body == (Send(task="t2", message="a"),)
+        assert stmt.else_body == (Null(),)
+
+    def test_while_and_for_builders(self):
+        pb = ProgramBuilder("p")
+        with pb.task("t") as t:
+            with t.while_():
+                t.null()
+            with t.for_("i", 1, 4):
+                t.assign("x", "?")
+        p = pb.build()
+        loop, forloop = p.task("t").body
+        assert isinstance(loop, While)
+        assert forloop.trip_count == 4
+
+    def test_builder_validates(self):
+        pb = ProgramBuilder("p")
+        with pb.task("t") as t:
+            t.send("missing", "m")
+        with pytest.raises(Exception):
+            pb.build()
+        assert pb.build(validate=False).name == "p"
+
+
+class TestPrettyRoundTrip:
+    CASES = [
+        "program p; task t is begin null; end;",
+        "program p; task a is begin send b.m; end; task b is begin accept m; end;",
+        "program p; task t is begin if ? then null; else null; end if; end;",
+        "program p; task t is begin while ? loop null; end loop; end;",
+        "program p; task t is begin for i in 1 .. 3 loop null; end loop; end;",
+        "program p; task t is begin x := ?; if x then null; end if; end;",
+        "program p; task a is begin accept m (v); end; task b is begin send a.m; end;",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_parse_pretty_parse_is_identity(self, source):
+        once = parse_program(source)
+        again = parse_program(pretty(once))
+        assert once == again
+
+    def test_pretty_indents_nesting(self):
+        p = parse_program(
+            "program p; task t is begin if ? then while ? loop null; "
+            "end loop; end if; end;"
+        )
+        text = pretty(p)
+        assert "        while ? loop" in text
+        assert "            null;" in text

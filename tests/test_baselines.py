@@ -1,0 +1,74 @@
+"""Taylor concurrency-state-graph baseline tests."""
+
+import pytest
+
+from repro.baselines.taylor_csg import taylor_csg_analysis
+from repro.errors import ExplorationLimitError
+from repro.lang.parser import parse_program
+from repro.syncgraph.build import build_sync_graph
+from repro.waves.explore import explore
+from repro.workloads.patterns import (
+    dining_philosophers,
+    pipeline,
+)
+
+
+class TestVerdicts:
+    def test_handshake_clean(self, handshake):
+        result = taylor_csg_analysis(handshake)
+        assert result.deadlock_free
+        assert result.can_terminate
+
+    def test_crossed_deadlocks(self, crossed):
+        result = taylor_csg_analysis(crossed)
+        assert result.has_deadlock
+        assert result.deadlock_states
+
+    def test_stall_counts_as_blocked_state(self, stall_program):
+        # a stalled state has no transitions either
+        assert taylor_csg_analysis(stall_program).has_deadlock
+
+    def test_philosophers(self):
+        assert taylor_csg_analysis(dining_philosophers(3, True)).has_deadlock
+        assert taylor_csg_analysis(
+            dining_philosophers(3, False)
+        ).deadlock_free
+
+
+class TestStateSpace:
+    def test_csg_is_larger_than_wave_space(self):
+        program = pipeline(3, 2)
+        waves = explore(build_sync_graph(program)).visited_count
+        csg = taylor_csg_analysis(program).state_count
+        assert csg > waves
+
+    def test_state_limit(self):
+        with pytest.raises(ExplorationLimitError):
+            taylor_csg_analysis(dining_philosophers(4, True), state_limit=10)
+
+    def test_loops_terminate(self):
+        p = parse_program(
+            "program p;"
+            "task a is begin while ? loop send b.m; end loop; end;"
+            "task b is begin while ? loop accept m; end loop; end;"
+        )
+        result = taylor_csg_analysis(p)
+        assert result.state_count > 0
+
+
+class TestAgreementWithWaves:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_deadlock_agreement_on_random_programs(self, seed):
+        from repro.workloads.random_programs import (
+            random_serializable_program,
+        )
+
+        program = random_serializable_program(
+            tasks=3, rendezvous=5, seed=seed
+        )
+        wave_result = explore(build_sync_graph(program))
+        csg_result = taylor_csg_analysis(program)
+        # The CSG's "deadlock" covers stalls too, so compare against
+        # any-anomaly; termination must agree exactly.
+        assert csg_result.has_deadlock == wave_result.has_anomaly
+        assert csg_result.can_terminate == wave_result.can_terminate

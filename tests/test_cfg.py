@@ -1,0 +1,130 @@
+"""Control-flow graph construction and structural analyses."""
+
+import pytest
+
+from repro.cfg.build import build_cfgs, build_task_cfg
+from repro.cfg.dominators import (
+    dominates,
+    dominator_sets,
+    postdominator_sets,
+)
+from repro.cfg.graph import NodeKind
+from repro.cfg.loops import ast_loop_depth, loop_nest_depth, natural_loops
+from repro.cfg.reducibility import back_edges, ensure_reducible, is_reducible
+from repro.lang.parser import parse_program
+
+
+def cfg_for(body_src: str):
+    p = parse_program(f"program p; task t is begin {body_src} end; "
+                      "task other is begin end;")
+    return build_task_cfg(p.task("t"))
+
+
+class TestConstruction:
+    def test_straight_line_shape(self):
+        cfg = cfg_for("send other.a; accept b;")
+        kinds = [n.kind for n in cfg.nodes]
+        assert kinds.count(NodeKind.SEND) == 1
+        assert kinds.count(NodeKind.ACCEPT) == 1
+        send = next(n for n in cfg.nodes if n.kind == NodeKind.SEND)
+        accept = next(n for n in cfg.nodes if n.kind == NodeKind.ACCEPT)
+        assert cfg.successors(cfg.entry) == (send,)
+        assert cfg.successors(send) == (accept,)
+        assert cfg.successors(accept) == (cfg.exit,)
+
+    def test_if_creates_branch_and_join(self):
+        cfg = cfg_for("if ? then send other.a; else null; end if;")
+        branch = next(n for n in cfg.nodes if n.kind == NodeKind.BRANCH)
+        join = next(n for n in cfg.nodes if n.kind == NodeKind.JOIN)
+        assert len(cfg.successors(branch)) == 2
+        assert len(cfg.predecessors(join)) == 2
+
+    def test_empty_else_connects_branch_to_join(self):
+        cfg = cfg_for("if ? then send other.a; end if;")
+        branch = next(n for n in cfg.nodes if n.kind == NodeKind.BRANCH)
+        join = next(n for n in cfg.nodes if n.kind == NodeKind.JOIN)
+        assert join in cfg.successors(branch)
+
+    def test_while_creates_back_edge(self):
+        cfg = cfg_for("while ? loop send other.a; end loop;")
+        assert len(back_edges(cfg)) == 1
+
+    def test_every_node_on_entry_exit_path(self):
+        cfg = cfg_for(
+            "if ? then while ? loop accept x; end loop; else null; end if;"
+        )
+        cfg.check_connected()  # raises on violation
+
+    def test_build_cfgs_covers_all_tasks(self, handshake):
+        cfgs = build_cfgs(handshake)
+        assert set(cfgs) == {"t1", "t2"}
+
+    def test_rendezvous_nodes_carry_statements(self):
+        cfg = cfg_for("send other.a;")
+        (node,) = cfg.rendezvous_nodes
+        assert node.stmt is not None
+        assert node.is_rendezvous
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = cfg_for("send other.a; accept b;")
+        doms = dominator_sets(cfg)
+        assert all(cfg.entry in doms[n] for n in cfg.nodes)
+
+    def test_linear_chain_domination(self):
+        cfg = cfg_for("send other.a; accept b;")
+        send = next(n for n in cfg.nodes if n.kind == NodeKind.SEND)
+        accept = next(n for n in cfg.nodes if n.kind == NodeKind.ACCEPT)
+        assert dominates(cfg, send, accept)
+        assert not dominates(cfg, accept, send)
+
+    def test_branch_arms_do_not_dominate_join(self):
+        cfg = cfg_for("if ? then send other.a; else accept b; end if;")
+        send = next(n for n in cfg.nodes if n.kind == NodeKind.SEND)
+        join = next(n for n in cfg.nodes if n.kind == NodeKind.JOIN)
+        assert not dominates(cfg, send, join)
+
+    def test_postdominators(self):
+        cfg = cfg_for("send other.a; accept b;")
+        send = next(n for n in cfg.nodes if n.kind == NodeKind.SEND)
+        accept = next(n for n in cfg.nodes if n.kind == NodeKind.ACCEPT)
+        pdoms = postdominator_sets(cfg)
+        assert accept in pdoms[send]
+        assert cfg.exit in pdoms[send]
+
+
+class TestReducibility:
+    def test_structured_programs_are_reducible(self):
+        cfg = cfg_for(
+            "while ? loop if ? then accept a; end if; end loop; send other.z;"
+        )
+        assert is_reducible(cfg)
+        ensure_reducible(cfg)
+
+    def test_loop_free_has_no_back_edges(self):
+        cfg = cfg_for("if ? then null; end if;")
+        assert back_edges(cfg) == []
+
+
+class TestLoops:
+    def test_natural_loop_body(self):
+        cfg = cfg_for("while ? loop accept a; end loop;")
+        (loop,) = natural_loops(cfg)
+        accept = next(n for n in cfg.nodes if n.kind == NodeKind.ACCEPT)
+        assert accept in loop
+        assert loop.header.kind == NodeKind.BRANCH
+
+    def test_nest_depth(self):
+        cfg = cfg_for(
+            "while ? loop while ? loop accept a; end loop; end loop;"
+        )
+        assert loop_nest_depth(cfg) == 2
+
+    def test_ast_loop_depth(self):
+        p = parse_program(
+            "program p; task t is begin "
+            "if ? then for i in 1 .. 2 loop while ? loop null; "
+            "end loop; end loop; end if; end;"
+        )
+        assert ast_loop_depth(p.task("t").body) == 2

@@ -1,0 +1,137 @@
+"""Command-line interface tests."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import CROSSED_SRC, HANDSHAKE_SRC
+
+
+@pytest.fixture
+def handshake_file(tmp_path):
+    path = tmp_path / "handshake.adl"
+    path.write_text(HANDSHAKE_SRC)
+    return path
+
+
+@pytest.fixture
+def crossed_file(tmp_path):
+    path = tmp_path / "crossed.adl"
+    path.write_text(CROSSED_SRC)
+    return path
+
+
+class TestExitCodes:
+    def test_certified_returns_zero(self, handshake_file):
+        assert main([str(handshake_file)]) == 0
+
+    def test_possible_deadlock_returns_one(self, crossed_file):
+        assert main([str(crossed_file)]) == 1
+
+    def test_missing_file_returns_two(self, capsys):
+        assert main(["/nonexistent.adl"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_parse_error_returns_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.adl"
+        bad.write_text("program ;")
+        assert main([str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestOutput:
+    def test_human_readable(self, handshake_file, capsys):
+        main([str(handshake_file)])
+        out = capsys.readouterr().out
+        assert "certified-deadlock-free" in out
+        assert "certified-stall-free" in out
+
+    def test_json_output(self, crossed_file, capsys):
+        main([str(crossed_file), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["program"] == "crossed"
+        assert payload["deadlock"]["verdict"] == "possible-deadlock"
+        assert payload["deadlock"]["evidence"]
+
+    def test_algorithm_selection(self, handshake_file, capsys):
+        main([str(handshake_file), "--algorithm", "naive", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["deadlock"]["algorithm"] == "naive-clg"
+
+    def test_simulate_flag(self, crossed_file, capsys):
+        main([str(crossed_file), "--simulate", "5", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["simulation"]["runs"] == 5
+        assert payload["simulation"]["deadlock_runs"] == 5
+
+
+class TestArtifacts:
+    def test_dot_outputs(self, handshake_file, tmp_path):
+        sync_dot = tmp_path / "sync.dot"
+        clg_dot = tmp_path / "clg.dot"
+        main(
+            [
+                str(handshake_file),
+                "--dot",
+                str(sync_dot),
+                "--clg-dot",
+                str(clg_dot),
+            ]
+        )
+        assert sync_dot.read_text().startswith("digraph")
+        assert clg_dot.read_text().startswith("digraph")
+
+    def test_stdin_input(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(HANDSHAKE_SRC))
+        assert main(["-"]) == 0
+
+
+class TestConfirm:
+    def test_confirm_confirms_real_deadlock(self, crossed_file, capsys):
+        code = main([str(crossed_file), "--confirm", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["confirmation"]["outcome"] == "confirmed-deadlock"
+        assert payload["confirmation"]["witness"]["steps"] == 0
+
+    def test_confirm_refutes_false_alarm(self, tmp_path, capsys):
+        # naive reports a spurious cycle on the two-round handshake;
+        # confirmation refutes it and the exit code flips to success
+        src = (
+            "program p;\n"
+            "task t1 is begin send t2.s1; accept s2; "
+            "send t2.s1; accept s2; end;\n"
+            "task t2 is begin accept s1; send t1.s2; "
+            "accept s1; send t1.s2; end;\n"
+        )
+        path = tmp_path / "tworound.adl"
+        path.write_text(src)
+        code = main([str(path), "--algorithm", "naive", "--confirm", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["deadlock"]["verdict"] == "possible-deadlock"
+        assert payload["confirmation"]["outcome"] == "false-alarm-refuted"
+        assert code == 0
+
+    def test_confirm_noop_when_certified(self, handshake_file, capsys):
+        code = main([str(handshake_file), "--confirm", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert (
+            payload["confirmation"]["outcome"]
+            == "not-needed-already-certified"
+        )
+
+
+class TestStats:
+    def test_stats_human(self, handshake_file, capsys):
+        main([str(handshake_file), "--stats"])
+        out = capsys.readouterr().out
+        assert "CLG:" in out and "wave-space" in out
+
+    def test_stats_json(self, handshake_file, capsys):
+        main([str(handshake_file), "--stats", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["tasks"] == 2

@@ -1,0 +1,74 @@
+"""NOT-COEXEC approximation tests."""
+
+import pytest
+
+from repro.analysis.coexec import compute_coexec
+from repro.lang.parser import parse_program
+from repro.syncgraph.build import build_sync_graph
+
+
+def setup(src):
+    sg = build_sync_graph(parse_program(src))
+    return sg, compute_coexec(sg)
+
+
+def node(sg, task, message, sign):
+    for n in sg.nodes_of_task(task):
+        if n.signal.message == message and n.sign == sign:
+            return n
+    raise KeyError((task, message, sign))
+
+
+class TestIntraTask:
+    def test_exclusive_branches_are_not_coexec(self):
+        sg, info = setup(
+            "program p;"
+            "task a is begin if ? then send b.x; else send b.y; end if; end;"
+            "task b is begin accept x; accept y; end;"
+        )
+        x = node(sg, "a", "x", "+")
+        y = node(sg, "a", "y", "+")
+        assert info.not_coexecutable(x, y)
+        assert info.not_coexecutable(y, x)
+
+    def test_sequential_nodes_are_coexec(self, handshake):
+        sg = build_sync_graph(handshake)
+        info = compute_coexec(sg)
+        r = node(sg, "t1", "sig1", "+")
+        s = node(sg, "t1", "sig2", "-")
+        assert not info.not_coexecutable(r, s)
+
+    def test_branch_and_following_node_coexec(self):
+        sg, info = setup(
+            "program p;"
+            "task a is begin if ? then send b.x; end if; send b.z; end;"
+            "task b is begin accept x; accept z; end;"
+        )
+        x = node(sg, "a", "x", "+")
+        z = node(sg, "a", "z", "+")
+        assert not info.not_coexecutable(x, z)
+
+
+class TestCrossTask:
+    def test_cross_task_defaults_to_coexec(self, handshake):
+        sg = build_sync_graph(handshake)
+        info = compute_coexec(sg)
+        r = node(sg, "t1", "sig1", "+")
+        u = node(sg, "t2", "sig1", "-")
+        assert not info.not_coexecutable(r, u)
+
+    def test_external_facts_injected(self, handshake):
+        sg = build_sync_graph(handshake)
+        r = node(sg, "t1", "sig1", "+")
+        u = node(sg, "t2", "sig1", "-")
+        info = compute_coexec(sg, extra_not_coexec=[(r, u)])
+        assert info.not_coexecutable(r, u)
+        assert info.not_coexecutable(u, r)
+
+    def test_pair_count(self):
+        sg, info = setup(
+            "program p;"
+            "task a is begin if ? then send b.x; else send b.y; end if; end;"
+            "task b is begin accept x; accept y; end;"
+        )
+        assert info.pair_count == 1

@@ -1,0 +1,136 @@
+"""Program composition utilities."""
+
+import pytest
+
+import repro
+from repro.errors import ValidationError
+from repro.lang.compose import (
+    add_handshake,
+    parallel_compose,
+    prefix_program,
+    rename_tasks,
+)
+from repro.lang.parser import parse_program
+from repro.syncgraph.build import build_sync_graph
+from repro.waves.explore import explore
+from repro.workloads.patterns import crossed_pair, handshake_chain, pipeline
+
+
+class TestRename:
+    def test_send_targets_rewritten(self, handshake):
+        renamed = rename_tasks(handshake, {"t2": "server"})
+        assert renamed.task_names == ("t1", "server")
+        send = renamed.task("t1").body[0]
+        assert send.task == "server"
+
+    def test_rename_inside_compounds(self):
+        p = parse_program(
+            "program p; task a is begin if ? then send b.m; end if; "
+            "while ? loop send b.n; end loop; end;"
+            "task b is begin accept m; accept n; end;"
+        )
+        renamed = rename_tasks(p, {"b": "sink"})
+        text = repro.pretty(renamed)
+        assert "send sink.m" in text and "send sink.n" in text
+        assert "send b." not in text
+
+    def test_collision_rejected(self, handshake):
+        with pytest.raises(ValidationError):
+            rename_tasks(handshake, {"t1": "t2"})
+
+    def test_semantics_preserved(self, crossed):
+        renamed = rename_tasks(crossed, {"t1": "left", "t2": "right"})
+        assert explore(build_sync_graph(renamed)).has_deadlock
+
+
+class TestPrefix:
+    def test_all_names_prefixed(self, handshake):
+        prefixed = prefix_program(handshake, "cell0")
+        assert prefixed.task_names == ("cell0_t1", "cell0_t2")
+        assert prefixed.name == "cell0_handshake"
+
+    def test_procedures_prefixed_with_calls(self):
+        p = parse_program(
+            "program p; procedure q is begin send b.m; end;"
+            "task a is begin call q; end;"
+            "task b is begin accept m; end;"
+        )
+        prefixed = prefix_program(p, "x")
+        assert prefixed.procedure_names == ("x_q",)
+        assert prefixed.task("x_a").body[0].name == "x_q"
+        assert repro.analyze(prefixed).deadlock.deadlock_free
+
+
+class TestParallelCompose:
+    def test_disjoint_union(self):
+        a = prefix_program(pipeline(3, 1), "a")
+        b = prefix_program(handshake_chain(3, 1), "b")
+        combined = parallel_compose("combined", a, b)
+        assert len(combined.tasks) == 6
+        result = explore(build_sync_graph(combined))
+        assert not result.has_anomaly
+
+    def test_deadlock_in_any_part_is_global(self):
+        clean = prefix_program(pipeline(3, 1), "clean")
+        bad = prefix_program(crossed_pair(), "bad")
+        combined = parallel_compose("combined", clean, bad)
+        assert explore(build_sync_graph(combined)).has_deadlock
+        assert not repro.analyze(combined).deadlock.deadlock_free
+
+    def test_name_collision_rejected(self, handshake):
+        with pytest.raises(ValidationError, match="prefix"):
+            parallel_compose("dup", handshake, handshake)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_compose("empty")
+
+
+class TestHandshakeBridge:
+    def test_bridge_sequences_parts(self):
+        a = prefix_program(pipeline(2, 1), "a")
+        b = prefix_program(pipeline(2, 1), "b")
+        combined = parallel_compose("bridged", a, b)
+        bridged = add_handshake(combined, "a_stage1", "b_stage0", "baton")
+        result = explore(build_sync_graph(bridged))
+        assert not result.has_anomaly
+        assert repro.analyze(bridged).deadlock.deadlock_free
+
+    def test_opposed_bridges_stay_clean(self):
+        # Both bridges attach at task ends, so the per-task orders stay
+        # acyclic: a_stage1 hands off to b_stage0 after its pipeline
+        # work, and b_stage1 hands back to a_stage0 after its own -
+        # a valid global order exists and the composition is clean.
+        a = prefix_program(pipeline(2, 1), "a")
+        b = prefix_program(pipeline(2, 1), "b")
+        combined = parallel_compose("cycle", a, b)
+        bridged = add_handshake(combined, "a_stage1", "b_stage0", "x")
+        bridged = add_handshake(bridged, "b_stage1", "a_stage0", "y")
+        result = explore(build_sync_graph(bridged))
+        assert not result.has_anomaly
+        assert result.can_terminate
+
+    def test_crossed_bridges_deadlock(self):
+        # Bridging each part's FIRST task to wait on the other before
+        # any local work creates a genuine cross wait.
+        src = (
+            "program p;"
+            "task a1 is begin accept go_a; send a2.m; end;"
+            "task a2 is begin accept m; end;"
+            "task b1 is begin accept go_b; send b2.m; end;"
+            "task b2 is begin accept m; end;"
+        )
+        program = parse_program(src)
+        bridged = add_handshake(program, "a2", "b1", "go_b")
+        bridged = add_handshake(bridged, "b2", "a1", "go_a")
+        result = explore(build_sync_graph(bridged))
+        assert result.has_anomaly
+        assert not result.can_terminate
+
+    def test_unknown_endpoint_rejected(self, handshake):
+        with pytest.raises(ValidationError, match="no task"):
+            add_handshake(handshake, "t1", "ghost", "m")
+
+    def test_same_endpoint_rejected(self, handshake):
+        with pytest.raises(ValidationError):
+            add_handshake(handshake, "t1", "t1", "m")

@@ -1,0 +1,94 @@
+"""Exhaustive feasible-wave exploration tests."""
+
+import pytest
+
+from repro.errors import ExplorationLimitError
+from repro.lang.parser import parse_program
+from repro.syncgraph.build import build_sync_graph
+from repro.waves.explore import exact_anomaly, exact_deadlock, explore
+from repro.workloads.patterns import (
+    client_server,
+    dining_philosophers,
+    pipeline,
+    token_ring,
+)
+
+
+def graph_for(src):
+    return build_sync_graph(parse_program(src))
+
+
+class TestVerdicts:
+    def test_handshake_terminates_cleanly(self, handshake):
+        result = explore(build_sync_graph(handshake))
+        assert result.can_terminate
+        assert not result.has_anomaly
+
+    def test_crossed_deadlocks(self, crossed):
+        result = explore(build_sync_graph(crossed))
+        assert result.has_deadlock
+        assert not result.can_terminate
+        assert not result.has_stall
+
+    def test_fig2b_deadlocks(self, fig2b):
+        assert exact_deadlock(build_sync_graph(fig2b))
+
+    def test_stall_detected(self, stall_program):
+        result = explore(build_sync_graph(stall_program))
+        assert result.has_stall
+        assert not result.has_deadlock
+        assert exact_anomaly(build_sync_graph(stall_program))
+
+    def test_order_dependent_deadlock_found(self):
+        # shared request signal: one schedule completes, another deadlocks
+        result = explore(build_sync_graph(client_server(2, 1, shared_reply=True)))
+        assert result.can_terminate  # the good schedule exists
+        assert result.has_deadlock  # and so does the bad one
+
+    def test_deadlock_head_nodes_collected(self, crossed):
+        result = explore(build_sync_graph(crossed))
+        heads = result.deadlock_head_nodes()
+        assert {n.triple for n in heads} == {
+            ("t2", "a", "+"),
+            ("t1", "x", "+"),
+        }
+
+
+class TestPatterns:
+    def test_philosophers_deadlock_variant(self):
+        assert exact_deadlock(build_sync_graph(dining_philosophers(3, True)))
+
+    def test_philosophers_safe_variant(self):
+        result = explore(build_sync_graph(dining_philosophers(3, False)))
+        assert not result.has_deadlock
+        assert result.can_terminate
+
+    def test_pipeline_clean(self):
+        result = explore(build_sync_graph(pipeline(4, 2)))
+        assert not result.has_anomaly
+        assert result.can_terminate
+
+    def test_token_ring_clean(self):
+        result = explore(build_sync_graph(token_ring(4, 2)))
+        assert not result.has_anomaly
+
+
+class TestLimits:
+    def test_state_limit_raises(self):
+        sg = build_sync_graph(dining_philosophers(4, True))
+        with pytest.raises(ExplorationLimitError):
+            explore(sg, state_limit=5)
+
+    def test_visited_count_reported(self, handshake):
+        result = explore(build_sync_graph(handshake))
+        assert result.visited_count == 3  # init, mid, terminal
+
+    def test_exploration_terminates_with_control_cycles(self):
+        # loops leave cycles in E_C; the wave space is still finite
+        sg = graph_for(
+            "program p;"
+            "task a is begin while ? loop send b.m; end loop; end;"
+            "task b is begin while ? loop accept m; end loop; end;"
+        )
+        result = explore(sg)
+        assert result.visited_count < 30

@@ -1,0 +1,131 @@
+"""Concrete interpreter and scheduler tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.interp.runtime import sample_runs
+from repro.interp.scheduler import TaskThread, run_program
+from repro.lang.parser import parse_program
+
+
+class TestRunProgram:
+    def test_handshake_completes(self, handshake):
+        result = run_program(handshake, seed=1)
+        assert result.completed
+        assert len(result.trace) == 2
+        assert result.trace[0][2].message == "sig1"
+
+    def test_crossed_deadlocks_every_time(self, crossed):
+        for seed in range(5):
+            result = run_program(crossed, seed=seed)
+            assert result.status == "stuck"
+            assert set(result.deadlock_tasks) == {"t1", "t2"}
+            assert result.stall_tasks == ()
+
+    def test_unmatched_send_is_runtime_stall(self, stall_program):
+        result = run_program(stall_program)
+        assert result.status == "stuck"
+        assert result.stall_tasks == ("t1",)
+
+    def test_loops_bounded(self):
+        p = parse_program(
+            "program p;"
+            "task a is begin while ? loop send b.m; end loop; end;"
+            "task b is begin while ? loop accept m; end loop; end;"
+        )
+        # must terminate one way or another under the iteration cap
+        result = run_program(p, seed=3, max_loop_iters=4)
+        assert result.status in ("completed", "stuck")
+
+    def test_max_steps_guard(self):
+        p = parse_program(
+            "program p;"
+            "task a is begin send b.m; send b.m; end;"
+            "task b is begin accept m; accept m; end;"
+        )
+        with pytest.raises(SimulationError):
+            run_program(p, max_steps=1)
+
+    def test_trace_records_sender_accepter(self, handshake):
+        result = run_program(handshake)
+        sender, accepter, signal = result.trace[0]
+        assert (sender, accepter) == ("t1", "t2")
+        assert signal.task == "t2"
+
+
+class TestDataFlow:
+    def test_bound_variable_transfers_value(self):
+        # t fixes v := true and communicates it: tp's guard must follow
+        # it, so the co-dependent rendezvous always completes
+        p = parse_program(
+            "program p;"
+            "task t is begin v := true; send tp.s; send tp.r; end;"
+            "task tp is begin accept s (v); if v then accept r; end if; end;"
+        )
+        for seed in range(10):
+            assert run_program(p, seed=seed).completed
+
+    def test_false_guard_skips_rendezvous(self):
+        p = parse_program(
+            "program p;"
+            "task t is begin v := false; send tp.s; "
+            "if v then send tp.r; end if; end;"
+            "task tp is begin accept s (v); if v then accept r; end if; end;"
+        )
+        for seed in range(10):
+            assert run_program(p, seed=seed).completed
+
+    def test_codependent_program_never_stalls(self, corpus):
+        summary = sample_runs(corpus["fig5d"].program, runs=50)
+        assert summary.completed == 50
+
+
+class TestSampling:
+    def test_summary_aggregates(self, crossed):
+        summary = sample_runs(crossed, runs=10)
+        assert summary.runs == 10
+        assert summary.stuck == 10
+        assert summary.ever_deadlocked
+        assert not summary.ever_stalled
+        assert summary.example_deadlock is not None
+
+    def test_order_dependent_deadlock_sampled(self):
+        from repro.workloads.patterns import client_server
+
+        summary = sample_runs(client_server(2, 1, shared_reply=True), runs=60)
+        assert summary.completed > 0
+        assert summary.deadlock_runs > 0
+
+    def test_describe(self, handshake):
+        summary = sample_runs(handshake, runs=3)
+        assert "3 runs" in summary.describe()
+
+
+class TestTaskThread:
+    def test_remaining_statements_include_pending(self, handshake):
+        import random
+
+        thread = TaskThread(handshake.task("t1"), random.Random(0))
+        req = thread.advance()
+        assert req is not None
+        remaining = list(thread.remaining_statements())
+        assert req.stmt in remaining
+        assert len(remaining) >= 2  # pending send + upcoming accept
+
+    def test_advance_is_idempotent_while_pending(self, handshake):
+        import random
+
+        thread = TaskThread(handshake.task("t1"), random.Random(0))
+        assert thread.advance() is thread.advance()
+
+    def test_done_after_body(self):
+        import random
+
+        p = parse_program(
+            "program p; task a is begin x := 1; null; end;"
+            "task b is begin null; end;"
+        )
+        thread = TaskThread(p.task("a"), random.Random(0))
+        assert thread.advance() is None
+        assert thread.done
+        assert thread.env["x"] == 1

@@ -1,0 +1,105 @@
+"""Unit tests for the ADL lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import Token, TokenType, tokenize
+
+
+def kinds(source):
+    return [t.type for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source) if t.type != TokenType.EOF]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].type == TokenType.EOF
+
+    def test_keywords_are_recognized(self):
+        toks = tokenize("program task is begin end send accept")
+        assert all(t.type == TokenType.KEYWORD for t in toks[:-1])
+
+    def test_keywords_are_case_insensitive(self):
+        toks = tokenize("PROGRAM Task IS")
+        assert [t.value for t in toks[:-1]] == ["program", "task", "is"]
+
+    def test_identifiers_preserve_case(self):
+        toks = tokenize("MyTask foo_bar x9")
+        assert [t.type for t in toks[:-1]] == [TokenType.IDENT] * 3
+        assert [t.value for t in toks[:-1]] == ["MyTask", "foo_bar", "x9"]
+
+    def test_integers(self):
+        toks = tokenize("0 42 1234")
+        assert [t.type for t in toks[:-1]] == [TokenType.INT] * 3
+        assert [t.value for t in toks[:-1]] == ["0", "42", "1234"]
+
+    def test_punctuation(self):
+        assert kinds("; . ? ( )")[:-1] == [
+            TokenType.SEMI,
+            TokenType.DOT,
+            TokenType.QUESTION,
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+        ]
+
+    def test_assign_token(self):
+        assert kinds("x := ?")[:-1] == [
+            TokenType.IDENT,
+            TokenType.ASSIGN,
+            TokenType.QUESTION,
+        ]
+
+    def test_dotdot_vs_dot(self):
+        assert kinds("1 .. 2")[:-1] == [
+            TokenType.INT,
+            TokenType.DOTDOT,
+            TokenType.INT,
+        ]
+        assert kinds("a.b")[:-1] == [
+            TokenType.IDENT,
+            TokenType.DOT,
+            TokenType.IDENT,
+        ]
+
+
+class TestCommentsAndWhitespace:
+    def test_comment_runs_to_end_of_line(self):
+        assert values("send -- this is a comment\n accept") == [
+            "send",
+            "accept",
+        ]
+
+    def test_comment_at_eof(self):
+        assert values("null; -- trailing") == ["null", ";"]
+
+    def test_whitespace_variants(self):
+        assert values("a\tb\r\nc") == ["a", "b", "c"]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("ab\n  cd")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_columns_after_multichar_tokens(self):
+        toks = tokenize("abc de")
+        assert toks[1].column == 5
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("send @")
+        assert exc.value.line == 1
+
+    def test_error_reports_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("ok\n   $")
+        assert exc.value.line == 2
+        assert exc.value.column == 4

@@ -1,0 +1,139 @@
+"""Unit tests for the ADL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.ast_nodes import (
+    Accept,
+    Assign,
+    For,
+    If,
+    Null,
+    Send,
+    While,
+)
+from repro.lang.parser import parse_program, parse_task_body
+
+
+class TestPrograms:
+    def test_minimal_program(self):
+        p = parse_program("program p; task t is begin null; end;")
+        assert p.name == "p"
+        assert p.task_names == ("t",)
+        assert p.task("t").body == (Null(),)
+
+    def test_multiple_tasks_in_order(self):
+        p = parse_program(
+            "program p;"
+            "task a is begin null; end;"
+            "task b is begin null; end;"
+            "task c is begin null; end;"
+        )
+        assert p.task_names == ("a", "b", "c")
+
+    def test_empty_task_body(self):
+        p = parse_program("program p; task t is begin end;")
+        assert p.task("t").body == ()
+
+    def test_program_without_tasks_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("program p;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("program p; task t is begin end; stray")
+
+
+class TestStatements:
+    def test_send(self):
+        (stmt,) = parse_task_body("send server.request;")
+        assert stmt == Send(task="server", message="request")
+
+    def test_accept(self):
+        (stmt,) = parse_task_body("accept request;")
+        assert stmt == Accept(message="request")
+
+    def test_accept_with_binding(self):
+        (stmt,) = parse_task_body("accept flag (v);")
+        assert stmt == Accept(message="flag", binds="v")
+
+    def test_assign_variants(self):
+        stmts = parse_task_body("a := ?; b := true; c := 7; d := other;")
+        assert stmts == (
+            Assign(var="a", expr="?"),
+            Assign(var="b", expr="true"),
+            Assign(var="c", expr="7"),
+            Assign(var="d", expr="other"),
+        )
+
+    def test_send_requires_dot(self):
+        with pytest.raises(ParseError):
+            parse_task_body("send server request;")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_task_body("null")
+
+
+class TestConditionals:
+    def test_if_then(self):
+        (stmt,) = parse_task_body("if ? then null; end if;")
+        assert isinstance(stmt, If)
+        assert stmt.condition.text == "?"
+        assert stmt.then_body == (Null(),)
+        assert stmt.else_body == ()
+
+    def test_if_else(self):
+        (stmt,) = parse_task_body(
+            "if flag then send t.a; else accept b; end if;"
+        )
+        assert stmt.condition.var == "flag"
+        assert isinstance(stmt.then_body[0], Send)
+        assert isinstance(stmt.else_body[0], Accept)
+
+    def test_negated_condition(self):
+        (stmt,) = parse_task_body("if not flag then null; end if;")
+        assert stmt.condition.var == "flag"
+        assert stmt.condition.negated
+
+    def test_elsif_desugars_to_nested_if(self):
+        (stmt,) = parse_task_body(
+            "if a then null; elsif b then null; else null; end if;"
+        )
+        assert isinstance(stmt, If)
+        assert len(stmt.else_body) == 1
+        inner = stmt.else_body[0]
+        assert isinstance(inner, If)
+        assert inner.condition.var == "b"
+        assert inner.else_body == (Null(),)
+
+    def test_nested_ifs(self):
+        (stmt,) = parse_task_body(
+            "if ? then if ? then null; end if; end if;"
+        )
+        assert isinstance(stmt.then_body[0], If)
+
+
+class TestLoops:
+    def test_while(self):
+        (stmt,) = parse_task_body("while ? loop accept tick; end loop;")
+        assert isinstance(stmt, While)
+        assert stmt.body == (Accept(message="tick"),)
+
+    def test_for_with_bounds(self):
+        (stmt,) = parse_task_body("for i in 1 .. 3 loop null; end loop;")
+        assert isinstance(stmt, For)
+        assert (stmt.var, stmt.lower, stmt.upper) == ("i", 1, 3)
+        assert stmt.trip_count == 3
+
+    def test_for_empty_range(self):
+        (stmt,) = parse_task_body("for i in 5 .. 2 loop null; end loop;")
+        assert stmt.trip_count == 0
+
+    def test_while_condition_variable(self):
+        (stmt,) = parse_task_body("while more loop null; end loop;")
+        assert stmt.condition.var == "more"
+
+    def test_missing_end_loop(self):
+        with pytest.raises(ParseError):
+            parse_task_body("while ? loop null; end;")

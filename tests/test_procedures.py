@@ -1,0 +1,190 @@
+"""Procedures: parsing, validation, inlining, and analysis integration."""
+
+import pytest
+
+import repro
+from repro.errors import ValidationError
+from repro.interp.runtime import sample_runs
+from repro.lang.ast_nodes import Call, ProcDecl, Send
+from repro.lang.builder import ProgramBuilder
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty
+from repro.lang.validate import validate_program
+from repro.transforms.inline import call_graph, has_calls, inline_procedures
+
+WITH_PROCS = """
+program procs;
+
+procedure round is
+begin
+    send server.req;
+    accept ok;
+end;
+
+task client is
+begin
+    call round;
+    call round;
+end;
+
+task server is
+begin
+    accept req; send client.ok;
+    accept req; send client.ok;
+end;
+"""
+
+
+class TestParsing:
+    def test_procedure_parsed(self):
+        p = parse_program(WITH_PROCS)
+        assert p.procedure_names == ("round",)
+        proc = p.procedure("round")
+        assert isinstance(proc.body[0], Send)
+
+    def test_call_statement_parsed(self):
+        p = parse_program(WITH_PROCS)
+        assert p.task("client").body == (Call("round"), Call("round"))
+
+    def test_pretty_roundtrip_with_procedures(self):
+        p = parse_program(WITH_PROCS)
+        assert parse_program(pretty(p)) == p
+
+    def test_procedure_lookup_keyerror(self):
+        p = parse_program(WITH_PROCS)
+        with pytest.raises(KeyError):
+            p.procedure("missing")
+
+
+class TestValidation:
+    def test_unknown_call_rejected(self):
+        src = "program p; task t is begin call ghost; end;" \
+              "task u is begin null; end;"
+        with pytest.raises(ValidationError, match="unknown procedure"):
+            validate_program(parse_program(src))
+
+    def test_duplicate_procedure_rejected(self):
+        src = (
+            "program p; procedure a is begin null; end;"
+            "procedure a is begin null; end;"
+            "task t is begin null; end;"
+        )
+        with pytest.raises(ValidationError, match="duplicate procedure"):
+            validate_program(parse_program(src))
+
+    def test_procedure_send_target_checked(self):
+        src = (
+            "program p; procedure a is begin send ghost.m; end;"
+            "task t is begin call a; end;"
+        )
+        with pytest.raises(ValidationError, match="unknown task"):
+            validate_program(parse_program(src))
+
+
+class TestInlining:
+    def test_simple_inline(self):
+        p = parse_program(WITH_PROCS)
+        inlined, changed = inline_procedures(p)
+        assert changed
+        assert not has_calls(inlined)
+        assert inlined.procedures == ()
+        body = inlined.task("client").body
+        assert len(body) == 4  # two rounds of send+accept
+
+    def test_nested_procedures(self):
+        src = (
+            "program p;"
+            "procedure inner is begin send u.m; end;"
+            "procedure outer is begin call inner; call inner; end;"
+            "task t is begin call outer; end;"
+            "task u is begin accept m; accept m; end;"
+        )
+        inlined, _ = inline_procedures(parse_program(src))
+        sends = [
+            s for s in inlined.task("t").body if isinstance(s, Send)
+        ]
+        assert len(sends) == 2
+
+    def test_call_inside_conditional(self):
+        src = (
+            "program p;"
+            "procedure ping is begin send u.m; end;"
+            "task t is begin if ? then call ping; end if; end;"
+            "task u is begin if ? then accept m; end if; end;"
+        )
+        inlined, _ = inline_procedures(parse_program(src))
+        assert not has_calls(inlined)
+
+    def test_recursion_rejected(self):
+        src = (
+            "program p;"
+            "procedure a is begin call b; end;"
+            "procedure b is begin call a; end;"
+            "task t is begin call a; end;"
+            "task u is begin null; end;"
+        )
+        with pytest.raises(ValidationError, match="recursive"):
+            inline_procedures(parse_program(src))
+
+    def test_self_recursion_rejected(self):
+        src = (
+            "program p;"
+            "procedure a is begin call a; end;"
+            "task t is begin call a; end;"
+            "task u is begin null; end;"
+        )
+        with pytest.raises(ValidationError, match="recursive"):
+            inline_procedures(parse_program(src))
+
+    def test_no_procedures_identity(self, handshake):
+        inlined, changed = inline_procedures(handshake)
+        assert not changed
+        assert inlined is handshake
+
+    def test_call_graph(self):
+        src = (
+            "program p;"
+            "procedure a is begin call b; end;"
+            "procedure b is begin null; end;"
+            "task t is begin call a; end;"
+            "task u is begin null; end;"
+        )
+        graph = call_graph(parse_program(src))
+        assert graph == {"a": {"b"}, "b": set()}
+
+
+class TestIntegration:
+    def test_analyze_inlines_and_certifies(self):
+        result = repro.analyze(WITH_PROCS)
+        assert result.deadlock.deadlock_free
+        assert result.stall.stall_free
+        assert result.deadlock.stats["procedures_inlined"] == 1
+
+    def test_interpreter_runs_calls(self):
+        p = parse_program(WITH_PROCS)
+        summary = sample_runs(p, runs=20)
+        assert summary.completed == 20
+
+    def test_deadlock_through_procedure_detected(self):
+        src = (
+            "program p;"
+            "procedure grab is begin send other.a; accept x; end;"
+            "task t is begin call grab; end;"
+            "task other is begin send t.x; accept a; end;"
+        )
+        result = repro.analyze(src)
+        assert not result.deadlock.deadlock_free
+
+    def test_builder_procedures(self):
+        pb = ProgramBuilder("built")
+        with pb.procedure("round") as proc:
+            proc.send("srv", "req")
+        with pb.task("cli") as t:
+            t.call("round")
+        with pb.task("srv") as t:
+            t.accept("req")
+        program = pb.build()
+        assert program.procedure("round").body == (
+            Send(task="srv", message="req"),
+        )
+        assert repro.analyze(program).deadlock.deadlock_free

@@ -1,0 +1,428 @@
+"""Property-based differential tests (hypothesis).
+
+These encode the paper's safety contracts:
+
+* every static detector is conservative — an exact (wave-model)
+  deadlock is never certified away;
+* the refined algorithm only ever removes alarms relative to naive;
+* the Lemma-1 unroll transform preserves exact deadlock verdicts;
+* derived orderings/co-executability facts are sound against the
+  reachable wave space;
+* Lemma 3's count balance implies stall freedom on unconditional
+  programs;
+* runtime (interpreter) deadlocks are always predicted statically;
+* the parser/pretty-printer round-trip is the identity.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.coexec import compute_coexec
+from repro.analysis.extensions import (
+    combined_pairs_analysis,
+    head_pairs_analysis,
+    head_tail_analysis,
+    k_pairs_analysis,
+)
+from repro.analysis.naive import naive_deadlock_analysis
+from repro.analysis.constraint4 import constraint4_deadlock_analysis
+from repro.analysis.orderings import compute_orderings
+from repro.analysis.refined import refined_deadlock_analysis
+from repro.analysis.stalls import lemma3_stall_analysis
+from repro.interp.scheduler import run_program
+from repro.lang.ast_nodes import (
+    Accept,
+    Condition,
+    If,
+    Null,
+    Program,
+    Send,
+    TaskDecl,
+    While,
+)
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty
+from repro.reductions.cnf import random_cnf
+from repro.reductions.dpll import is_satisfiable
+from repro.reductions.theorem2 import (
+    build_theorem2_program,
+    find_unsequenceable_cycle,
+)
+from repro.reductions.theorem3 import (
+    build_theorem3_graph,
+    find_constraint2_cycle,
+)
+from repro.syncgraph.build import build_sync_graph
+from repro.transforms.branch_merge import merge_branch_rendezvous
+from repro.transforms.unroll import remove_loops
+from repro.waves.explore import explore
+from repro.waves.wave import initial_waves, next_waves
+
+# --------------------------------------------------------------------------
+# program strategies
+# --------------------------------------------------------------------------
+
+N_TASKS = 3
+MESSAGES = ["m0", "m1"]
+TASKS = [f"t{i}" for i in range(N_TASKS)]
+
+
+def _leaf(task_index: int) -> st.SearchStrategy:
+    sends = [
+        Send(task=TASKS[j], message=m)
+        for j in range(N_TASKS)
+        if j != task_index
+        for m in MESSAGES
+    ]
+    accepts = [Accept(message=m) for m in MESSAGES]
+    return st.sampled_from(sends + accepts + [Null()])
+
+
+def _stmt(task_index: int, depth: int) -> st.SearchStrategy:
+    leaf = _leaf(task_index)
+    if depth <= 0:
+        return leaf
+    inner = st.lists(_stmt(task_index, depth - 1), min_size=1, max_size=2)
+    compound = st.one_of(
+        st.builds(
+            If,
+            condition=st.just(Condition.unknown()),
+            then_body=inner.map(tuple),
+            else_body=st.lists(
+                _stmt(task_index, depth - 1), min_size=0, max_size=1
+            ).map(tuple),
+        ),
+        st.builds(
+            While,
+            condition=st.just(Condition.unknown()),
+            body=inner.map(tuple),
+        ),
+    )
+    return st.one_of(leaf, leaf, compound)  # bias toward leaves
+
+
+@st.composite
+def small_programs(draw, with_loops: bool = True) -> Program:
+    tasks = []
+    for i in range(N_TASKS):
+        depth = 1 if with_loops else 0
+        body = draw(
+            st.lists(_stmt(i, depth), min_size=0, max_size=3).map(tuple)
+        )
+        tasks.append(TaskDecl(name=TASKS[i], body=body))
+    return Program(name="prop", tasks=tuple(tasks))
+
+
+FAST = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+DETECTORS = [
+    naive_deadlock_analysis,
+    refined_deadlock_analysis,
+    constraint4_deadlock_analysis,
+    head_pairs_analysis,
+    head_tail_analysis,
+    combined_pairs_analysis,
+    lambda graph: k_pairs_analysis(graph, k=3),
+]
+
+
+# --------------------------------------------------------------------------
+# round trip
+# --------------------------------------------------------------------------
+
+
+@FAST
+@given(small_programs())
+def test_parse_pretty_roundtrip(program):
+    assert parse_program(pretty(program)) == program
+
+
+# --------------------------------------------------------------------------
+# conservativeness (safety) of every detector
+# --------------------------------------------------------------------------
+
+
+@FAST
+@given(small_programs())
+def test_detectors_never_miss_exact_deadlocks(program):
+    transformed, _ = remove_loops(program)
+    graph = build_sync_graph(transformed)
+    exact = explore(graph, state_limit=60_000)
+    if not exact.has_deadlock:
+        return
+    for detector in DETECTORS:
+        report = detector(graph)
+        assert not report.deadlock_free, (
+            f"{report.algorithm} certified a program with an exact "
+            f"deadlock:\n{pretty(program)}"
+        )
+
+
+@FAST
+@given(small_programs())
+def test_refined_family_alarms_subset_of_naive(program):
+    transformed, _ = remove_loops(program)
+    graph = build_sync_graph(transformed)
+    if naive_deadlock_analysis(graph).deadlock_free:
+        for detector in DETECTORS[1:]:
+            assert detector(graph).deadlock_free
+
+
+# --------------------------------------------------------------------------
+# Lemma 1: the unroll transform preserves exact deadlock verdicts
+# --------------------------------------------------------------------------
+
+
+@FAST
+@given(small_programs(with_loops=True))
+def test_unroll_preserves_exact_deadlock(program):
+    transformed, changed = remove_loops(program)
+    before = explore(build_sync_graph(program), state_limit=60_000)
+    after = explore(build_sync_graph(transformed), state_limit=60_000)
+    assert before.has_deadlock == after.has_deadlock, pretty(program)
+
+
+# --------------------------------------------------------------------------
+# soundness of the derived facts
+# --------------------------------------------------------------------------
+
+
+def _co_waiting_pairs(graph, state_limit=60_000):
+    """All unordered node pairs that wait together on some feasible wave."""
+    from collections import deque
+
+    seen = set()
+    pairs = set()
+    queue = deque()
+    for wave in initial_waves(graph):
+        if wave not in seen:
+            seen.add(wave)
+            queue.append(wave)
+    while queue:
+        wave = queue.popleft()
+        real = wave.real_nodes()
+        for i, a in enumerate(real):
+            for b in real[i + 1 :]:
+                pairs.add(frozenset((a, b)))
+        for nxt in next_waves(graph, wave):
+            if nxt not in seen and len(seen) < state_limit:
+                seen.add(nxt)
+                queue.append(nxt)
+    return pairs
+
+
+@FAST
+@given(small_programs(with_loops=False))
+def test_sequenceable_nodes_never_co_wait(program):
+    graph = build_sync_graph(program)
+    orderings = compute_orderings(graph)
+    co_waiting = _co_waiting_pairs(graph)
+    for a in graph.rendezvous_nodes:
+        for b in orderings.sequenceable_with(a):
+            assert frozenset((a, b)) not in co_waiting, (
+                f"sequenceable pair co-waits: {a} / {b}\n{pretty(program)}"
+            )
+
+
+@FAST
+@given(small_programs(with_loops=False))
+def test_not_coexec_nodes_never_co_wait(program):
+    graph = build_sync_graph(program)
+    coexec = compute_coexec(graph)
+    co_waiting = _co_waiting_pairs(graph)
+    for a in graph.rendezvous_nodes:
+        for b in coexec.not_coexec_with(a):
+            assert frozenset((a, b)) not in co_waiting
+
+
+# --------------------------------------------------------------------------
+# Lemma 3 as a property
+# --------------------------------------------------------------------------
+
+
+@FAST
+@given(small_programs(with_loops=False))
+def test_lemma3_balance_implies_no_stall(program):
+    report = lemma3_stall_analysis(program)
+    if not report.stall_free:
+        return
+    exact = explore(build_sync_graph(program), state_limit=60_000)
+    assert not exact.has_stall, pretty(program)
+
+
+# --------------------------------------------------------------------------
+# runtime vs static
+# --------------------------------------------------------------------------
+
+
+@FAST
+@given(small_programs(), st.integers(min_value=0, max_value=7))
+def test_runtime_deadlocks_predicted_statically(program, seed):
+    result = run_program(program, seed=seed, max_loop_iters=3)
+    if result.status != "stuck" or not result.is_deadlock:
+        return
+    transformed, _ = remove_loops(program)
+    graph = build_sync_graph(transformed)
+    exact = explore(graph, state_limit=60_000)
+    assert exact.has_anomaly, pretty(program)
+    report = refined_deadlock_analysis(graph)
+    if exact.has_deadlock:
+        assert not report.deadlock_free
+
+
+# --------------------------------------------------------------------------
+# branch merge is anomaly preserving
+# --------------------------------------------------------------------------
+
+
+@FAST
+@given(small_programs(with_loops=False))
+def test_branch_merge_preserves_anomalies(program):
+    merged, count = merge_branch_rendezvous(program)
+    if count == 0:
+        return
+    before = explore(build_sync_graph(program), state_limit=60_000)
+    after = explore(build_sync_graph(merged), state_limit=60_000)
+    assert before.has_anomaly <= after.has_anomaly, pretty(program)
+
+
+# --------------------------------------------------------------------------
+# reductions agree with DPLL
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_theorem2_matches_dpll(seed):
+    formula = random_cnf(4, 5, seed=seed)
+    inst = build_theorem2_program(formula)
+    assert (find_unsequenceable_cycle(inst) is not None) == is_satisfiable(
+        formula
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_theorem3_matches_dpll(seed):
+    formula = random_cnf(4, 5, seed=seed)
+    inst = build_theorem3_graph(formula)
+    assert (find_constraint2_cycle(inst) is not None) == is_satisfiable(
+        formula
+    )
+
+
+# --------------------------------------------------------------------------
+# ordering backends agree
+# --------------------------------------------------------------------------
+
+
+@FAST
+@given(small_programs())
+def test_matrix_orderings_equivalent(program):
+    from repro.analysis.orderings_matrix import compute_orderings_matrix
+
+    transformed, _ = remove_loops(program)
+    graph = build_sync_graph(transformed)
+    assert (
+        compute_orderings(graph).precedes
+        == compute_orderings_matrix(graph).precedes
+    )
+
+
+# --------------------------------------------------------------------------
+# witnesses agree with exploration; traces respect the §2 invariants
+# --------------------------------------------------------------------------
+
+
+@FAST
+@given(small_programs(with_loops=False))
+def test_witness_iff_exact_deadlock(program):
+    from repro.waves.states import trace_states
+    from repro.waves.witness import find_anomaly_witness
+
+    graph = build_sync_graph(program)
+    exact = explore(graph, state_limit=60_000)
+    witness = find_anomaly_witness(graph, "deadlock", state_limit=60_000)
+    assert (witness is not None) == exact.has_deadlock, pretty(program)
+    if witness is not None:
+        for snapshot in trace_states(graph, witness):
+            snapshot.check_invariants(graph)
+        final = trace_states(graph, witness)[-1]
+        assert final.ready_nodes() == ()
+
+
+# --------------------------------------------------------------------------
+# procedure inlining preserves exact semantics (vs interpreter parity)
+# --------------------------------------------------------------------------
+
+
+@st.composite
+def programs_with_procedures(draw):
+    from repro.lang.ast_nodes import Call, ProcDecl
+
+    base = draw(small_programs(with_loops=False))
+    # wrap a shared two-statement procedure and call it from task 0
+    proc_body = (
+        Send(task=TASKS[1], message="m0"),
+        Accept(message="m1"),
+    )
+    tasks = list(base.tasks)
+    tasks[0] = TaskDecl(
+        name=tasks[0].name, body=(Call("shared"),) + tasks[0].body
+    )
+    return Program(
+        name="withproc",
+        tasks=tuple(tasks),
+        procedures=(ProcDecl(name="shared", body=proc_body),),
+    )
+
+
+@FAST
+@given(programs_with_procedures())
+def test_inlining_preserves_exact_verdicts(program):
+    from repro.transforms.inline import inline_procedures
+
+    inlined, changed = inline_procedures(program)
+    assert changed
+    manual = Program(
+        name=program.name,
+        tasks=tuple(
+            TaskDecl(
+                name=t.name,
+                body=(
+                    program.procedures[0].body + t.body[1:]
+                    if i == 0
+                    else t.body
+                ),
+            )
+            for i, t in enumerate(program.tasks)
+        ),
+    )
+    got = explore(build_sync_graph(inlined), state_limit=60_000)
+    want = explore(build_sync_graph(manual), state_limit=60_000)
+    assert got.has_deadlock == want.has_deadlock
+    assert got.has_stall == want.has_stall
+
+
+# --------------------------------------------------------------------------
+# Lemma 4 net-vector certification is sound
+# --------------------------------------------------------------------------
+
+
+@FAST
+@given(small_programs(with_loops=False))
+def test_lemma4_certification_implies_no_stall(program):
+    from repro.analysis.stalls import lemma4_stall_analysis
+
+    report = lemma4_stall_analysis(program)
+    if not report.stall_free:
+        return
+    exact = explore(build_sync_graph(program), state_limit=60_000)
+    assert not exact.has_stall, pretty(program)

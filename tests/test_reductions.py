@@ -1,0 +1,151 @@
+"""CNF, DPLL, and the Theorem 2/3 reductions (paper, Appendix A)."""
+
+import pytest
+
+from repro.lang.validate import validate_program
+from repro.reductions.cnf import CNF, Clause, Literal, random_cnf
+from repro.reductions.dpll import is_satisfiable, solve
+from repro.reductions.theorem2 import (
+    build_theorem2_program,
+    find_unsequenceable_cycle,
+)
+from repro.reductions.theorem3 import (
+    build_theorem3_graph,
+    find_constraint2_cycle,
+)
+
+SAT_FORMULA = CNF.of(
+    [(1, True), (2, True), (3, False)],
+    [(1, True), (3, True), (4, False)],
+)
+
+UNSAT_FORMULA = CNF.of(
+    *[
+        [(1, a), (2, b), (3, c)]
+        for a in (True, False)
+        for b in (True, False)
+        for c in (True, False)
+    ]
+)
+
+
+class TestCNF:
+    def test_literal_validation(self):
+        with pytest.raises(ValueError):
+            Literal(0)
+
+    def test_evaluate(self):
+        assert SAT_FORMULA.evaluate({1: True, 2: False, 3: False, 4: False})
+        assert not UNSAT_FORMULA.evaluate(
+            {1: True, 2: True, 3: True}
+        )
+
+    def test_num_vars(self):
+        assert SAT_FORMULA.num_vars == 4
+
+    def test_random_cnf_shape(self):
+        f = random_cnf(5, 8, seed=1)
+        assert len(f) == 8
+        assert all(len(c) == 3 for c in f)
+        assert all(
+            len({lit.var for lit in c}) == 3 for c in f
+        )
+
+    def test_random_cnf_deterministic(self):
+        assert random_cnf(5, 6, seed=2) == random_cnf(5, 6, seed=2)
+
+
+class TestDPLL:
+    def test_sat_model_returned(self):
+        model = solve(SAT_FORMULA)
+        assert model is not None
+
+    def test_unsat(self):
+        assert solve(UNSAT_FORMULA) is None
+        assert not is_satisfiable(UNSAT_FORMULA)
+
+    def test_unit_propagation_chain(self):
+        f = CNF.of([(1, True)], [(1, False), (2, True)], [(2, False), (3, True)])
+        model = solve(f)
+        assert model[1] and model[2] and model[3]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_models_actually_satisfy(self, seed):
+        f = random_cnf(6, 15, seed=seed)
+        model = solve(f)
+        if model is not None:
+            total = {v: model.get(v, True) for v in f.variables}
+            assert f.evaluate(total)
+
+
+class TestTheorem2:
+    def test_program_validates(self):
+        inst = build_theorem2_program(SAT_FORMULA)
+        validate_program(inst.program)
+
+    def test_task_inventory(self):
+        inst = build_theorem2_program(SAT_FORMULA)
+        names = set(inst.program.task_names)
+        # 6 literal tasks; positives get anti tasks; vars 3,4 have
+        # negative occurrences -> 2 ordering tasks
+        assert {"l_1_1", "l_2_3"} <= names
+        assert "ord_3" in names and "ord_4" in names
+        assert any(n.startswith("anti_") for n in names)
+
+    def test_sat_formula_has_cycle(self):
+        inst = build_theorem2_program(SAT_FORMULA)
+        assignment = find_unsequenceable_cycle(inst)
+        assert assignment is not None
+        total = {
+            v: assignment.get(v, True) for v in SAT_FORMULA.variables
+        }
+        assert SAT_FORMULA.evaluate(total)
+
+    def test_unsat_formula_has_no_cycle(self):
+        inst = build_theorem2_program(UNSAT_FORMULA)
+        assert find_unsequenceable_cycle(inst) is None
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_equivalence_with_dpll(self, seed):
+        f = random_cnf(4, 6, seed=seed)
+        inst = build_theorem2_program(f)
+        cycle = find_unsequenceable_cycle(inst)
+        assert (cycle is not None) == is_satisfiable(f)
+
+    def test_wrong_clause_width_rejected(self):
+        with pytest.raises(ValueError):
+            build_theorem2_program(CNF.of([(1, True), (2, True)]))
+
+
+class TestTheorem3:
+    def test_graph_shape(self):
+        inst = build_theorem3_graph(SAT_FORMULA)
+        # 6 literal tasks, 4 nodes each
+        assert len(inst.graph.rendezvous_nodes) == 24
+
+    def test_complementary_tops_connected(self):
+        inst = build_theorem3_graph(SAT_FORMULA)
+        # clause 1 literal 3 is ~x3; clause 2 literal 2 is x3
+        neg = inst.tops[(1, 3)]
+        pos = inst.tops[(2, 2)]
+        assert inst.graph.has_sync_edge(neg, pos)
+
+    def test_sat_formula_has_cycle(self):
+        assignment = find_constraint2_cycle(build_theorem3_graph(SAT_FORMULA))
+        assert assignment is not None
+        total = {
+            v: assignment.get(v, True) for v in SAT_FORMULA.variables
+        }
+        assert SAT_FORMULA.evaluate(total)
+
+    def test_unsat_formula_has_no_cycle(self):
+        assert (
+            find_constraint2_cycle(build_theorem3_graph(UNSAT_FORMULA))
+            is None
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_equivalence_with_dpll(self, seed):
+        f = random_cnf(4, 6, seed=seed)
+        cycle = find_constraint2_cycle(build_theorem3_graph(f))
+        assert (cycle is not None) == is_satisfiable(f)

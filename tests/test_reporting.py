@@ -1,0 +1,106 @@
+"""Structured report serialization."""
+
+import json
+
+import pytest
+
+import repro
+from repro.analysis.confirm import confirm_deadlock_report
+from repro.analysis.refined import refined_deadlock_analysis
+from repro.interp.runtime import sample_runs
+from repro.reporting import (
+    SCHEMA_VERSION,
+    analysis_result_to_dict,
+    confirmation_to_dict,
+    deadlock_report_to_dict,
+    simulation_to_dict,
+    stall_report_to_dict,
+    validation_to_dict,
+    witness_to_dict,
+)
+from repro.syncgraph.build import build_sync_graph
+from repro.waves.witness import find_anomaly_witness
+
+
+def roundtrip(payload):
+    """Everything must survive JSON encode/decode unchanged."""
+    return json.loads(json.dumps(payload))
+
+
+class TestDeadlockReport:
+    def test_certified_payload(self, handshake):
+        result = repro.analyze(handshake)
+        payload = roundtrip(deadlock_report_to_dict(result.deadlock))
+        assert payload["deadlock_free"] is True
+        assert payload["verdict"] == "certified-deadlock-free"
+        assert payload["evidence"] == []
+
+    def test_evidence_payload(self, crossed):
+        result = repro.analyze(crossed)
+        payload = roundtrip(deadlock_report_to_dict(result.deadlock))
+        assert payload["deadlock_free"] is False
+        ev = payload["evidence"][0]
+        assert set(ev) == {"head", "tail", "tasks", "component"}
+        assert ev["tasks"] == ["t1", "t2"]
+
+
+class TestStallAndValidation:
+    def test_stall_payload(self, stall_program):
+        result = repro.analyze(stall_program)
+        payload = roundtrip(stall_report_to_dict(result.stall))
+        assert payload["stall_free"] is False
+        assert payload["imbalanced"]["(t2, m)"] == {
+            "sends": 1,
+            "accepts": 0,
+        }
+
+    def test_validation_payload(self, stall_program):
+        result = repro.analyze(stall_program)
+        payload = roundtrip(validation_to_dict(result.validation))
+        assert payload["fully_matched"] is False
+        assert payload["unmatched_sends"] == ["(t2, m)"]
+
+
+class TestWitnessAndConfirmation:
+    def test_witness_payload(self, crossed):
+        graph = build_sync_graph(crossed)
+        witness = find_anomaly_witness(graph, "deadlock")
+        payload = roundtrip(witness_to_dict(witness))
+        assert payload["kind"] == "deadlock"
+        assert payload["steps"] == 0
+        assert len(payload["deadlock_sets"]) == 1
+
+    def test_confirmation_payload(self, crossed):
+        graph = build_sync_graph(crossed)
+        report = refined_deadlock_analysis(graph)
+        confirmed = confirm_deadlock_report(graph, report)
+        payload = roundtrip(confirmation_to_dict(confirmed))
+        assert payload["outcome"] == "confirmed-deadlock"
+        assert payload["witness"]["kind"] == "deadlock"
+
+    def test_no_witness_serializes_null(self, handshake):
+        graph = build_sync_graph(handshake)
+        report = refined_deadlock_analysis(graph)
+        confirmed = confirm_deadlock_report(graph, report)
+        payload = roundtrip(confirmation_to_dict(confirmed))
+        assert payload["witness"] is None
+
+
+class TestFullPayload:
+    def test_schema_and_sections(self, handshake):
+        result = repro.analyze(handshake)
+        simulation = sample_runs(result.program, runs=5)
+        payload = roundtrip(analysis_result_to_dict(result, simulation))
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["sync_graph"]["tasks"] == 2
+        assert payload["simulation"]["completed"] == 5
+        assert "confirmation" not in payload
+
+    def test_procedures_listed(self):
+        result = repro.analyze(
+            "program p; procedure q is begin null; end;"
+            "task a is begin call q; send b.m; end;"
+            "task b is begin accept m; end;"
+        )
+        payload = roundtrip(analysis_result_to_dict(result))
+        assert payload["procedures"] == ["q"]

@@ -1,0 +1,257 @@
+"""Stall analysis tests (paper, Section 5)."""
+
+import pytest
+
+from repro.analysis.stalls import (
+    exact_stall_analysis,
+    has_conditional_rendezvous,
+    lemma3_stall_analysis,
+    signal_balance,
+    stall_analysis,
+)
+from repro.analysis.results import StallVerdict
+from repro.lang.ast_nodes import Signal
+from repro.lang.parser import parse_program
+
+
+class TestConditionalDetection:
+    def test_straight_line_program(self, handshake):
+        assert not has_conditional_rendezvous(handshake)
+
+    def test_rendezvous_in_branch(self):
+        p = parse_program(
+            "program p; task a is begin if ? then send b.m; end if; end;"
+            "task b is begin accept m; end;"
+        )
+        assert has_conditional_rendezvous(p)
+
+    def test_rendezvous_in_loop(self):
+        p = parse_program(
+            "program p; task a is begin while ? loop send b.m; end loop; end;"
+            "task b is begin accept m; end;"
+        )
+        assert has_conditional_rendezvous(p)
+
+    def test_rendezvous_free_conditional_ignored(self):
+        p = parse_program(
+            "program p; task a is begin if ? then null; end if; "
+            "send b.m; end; task b is begin accept m; end;"
+        )
+        assert not has_conditional_rendezvous(p)
+
+
+class TestLemma3:
+    def test_balanced_straight_line_certified(self, handshake):
+        report = lemma3_stall_analysis(handshake)
+        assert report.verdict == StallVerdict.CERTIFIED_FREE
+        assert report.stall_free
+
+    def test_imbalanced_reports_signals(self, stall_program):
+        report = lemma3_stall_analysis(stall_program)
+        assert report.verdict == StallVerdict.POSSIBLE_STALL
+        assert report.imbalanced == {Signal("t2", "m"): (1, 0)}
+
+    def test_conditional_rendezvous_unknown(self):
+        p = parse_program(
+            "program p; task a is begin if ? then send b.m; end if; end;"
+            "task b is begin accept m; end;"
+        )
+        report = lemma3_stall_analysis(p)
+        assert report.verdict == StallVerdict.UNKNOWN
+
+    def test_balanced_but_deadlocking_still_stall_free(self, crossed):
+        # Lemma 3 speaks about stalls only; the crossed program
+        # deadlocks but never stalls.
+        report = lemma3_stall_analysis(crossed)
+        assert report.stall_free
+        exact = exact_stall_analysis(crossed)
+        assert exact.stall_free
+
+    def test_signal_balance_counts(self):
+        p = parse_program(
+            "program p;"
+            "task a is begin send b.m; send b.m; end;"
+            "task b is begin accept m; end;"
+        )
+        assert signal_balance(p)[Signal("b", "m")] == (2, 1)
+
+
+class TestPipeline:
+    def test_branch_merge_enables_certification(self, corpus):
+        report = stall_analysis(corpus["fig5bc"].program)
+        # after the merge, only the co-dependent go-rendezvous remains
+        # conditional; it is not factorable by the simple pattern here
+        # (no data flows), so the result stays conservative
+        assert report.verdict in (
+            StallVerdict.UNKNOWN,
+            StallVerdict.CERTIFIED_FREE,
+        )
+        assert any("branch-merge" in t for t in report.transforms_applied)
+
+    def test_codependent_factoring_certifies_fig5d(self, corpus):
+        report = stall_analysis(corpus["fig5d"].program)
+        assert report.verdict == StallVerdict.CERTIFIED_FREE
+        assert any(
+            "codependent" in t for t in report.transforms_applied
+        )
+
+    def test_transforms_can_be_disabled(self, corpus):
+        report = stall_analysis(
+            corpus["fig5d"].program, apply_transforms=False
+        )
+        assert report.verdict == StallVerdict.UNKNOWN
+
+    def test_simple_both_branches_merge(self):
+        p = parse_program(
+            "program p;"
+            "task a is begin if ? then send b.m; else send b.m; end if; end;"
+            "task b is begin accept m; end;"
+        )
+        report = stall_analysis(p)
+        assert report.verdict == StallVerdict.CERTIFIED_FREE
+
+
+class TestExact:
+    def test_exact_flags_conditional_stall(self, corpus):
+        report = exact_stall_analysis(corpus["fig2a"].program)
+        assert report.verdict == StallVerdict.POSSIBLE_STALL
+        assert report.notes
+
+    def test_exact_certifies_handshake(self, handshake):
+        assert exact_stall_analysis(handshake).stall_free
+
+    def test_lemma3_agrees_with_exact_when_applicable(self, handshake):
+        # on unconditional-rendezvous programs Lemma 3 is exact
+        assert (
+            lemma3_stall_analysis(handshake).stall_free
+            == exact_stall_analysis(handshake).stall_free
+        )
+
+
+class TestCertifiedCodependence:
+    SRC = """
+    program certify;
+    task t is begin send tp.s; if ? then send tp.r; end if; end;
+    task tp is begin accept s; if ? then accept r; end if; end;
+    """
+
+    def test_without_certification_unknown(self):
+        p = parse_program(self.SRC)
+        assert lemma3_stall_analysis(p).verdict == StallVerdict.UNKNOWN
+
+    def test_certification_enables_lemma3(self):
+        p = parse_program(self.SRC)
+        report = lemma3_stall_analysis(
+            p, certified_codependent=[Signal("tp", "r")]
+        )
+        assert report.verdict == StallVerdict.CERTIFIED_FREE
+        assert any("certified" in n for n in report.notes)
+
+    def test_certification_through_pipeline(self):
+        p = parse_program(self.SRC)
+        report = stall_analysis(
+            p, certified_codependent=[Signal("tp", "r")]
+        )
+        assert report.verdict == StallVerdict.CERTIFIED_FREE
+
+    def test_certification_does_not_mask_other_conditionals(self):
+        src = """
+        program mixed;
+        task t is begin send tp.s; if ? then send tp.r; end if;
+        if ? then send tp.q; end if; end;
+        task tp is begin accept s; if ? then accept r; end if;
+        accept q; end;
+        """
+        p = parse_program(src)
+        report = lemma3_stall_analysis(
+            p, certified_codependent=[Signal("tp", "r")]
+        )
+        assert report.verdict == StallVerdict.UNKNOWN
+
+    def test_certified_imbalance_still_detected(self):
+        src = """
+        program imbalanced;
+        task t is begin send tp.s; if ? then send tp.r; end if;
+        send tp.r; end;
+        task tp is begin accept s; if ? then accept r; end if; end;
+        """
+        p = parse_program(src)
+        report = lemma3_stall_analysis(
+            p, certified_codependent=[Signal("tp", "r")]
+        )
+        assert report.verdict == StallVerdict.POSSIBLE_STALL
+
+
+class TestLemma4NetVectors:
+    def test_balanced_arms_certified_without_transforms(self):
+        from repro.analysis.stalls import lemma4_stall_analysis
+
+        p = parse_program(
+            "program p; task a is begin if ? then accept go; send b.m; "
+            "else send b.m; accept go; end if; end;"
+            "task b is begin accept m; end;"
+            "task c is begin send a.go; end;"
+        )
+        # branch-merge cannot hoist here in one shot (different order),
+        # but the nets agree: lemma4 certifies directly
+        report = lemma4_stall_analysis(p)
+        assert report.verdict == StallVerdict.CERTIFIED_FREE
+
+    def test_for_loops_use_exact_trip_counts(self):
+        from repro.analysis.stalls import lemma4_stall_analysis
+        from repro.syncgraph.build import build_sync_graph
+        from repro.transforms.unroll import remove_loops
+        from repro.waves.explore import explore
+
+        p = parse_program(
+            "program p;"
+            "task a is begin for i in 1 .. 3 loop send b.m; end loop; end;"
+            "task b is begin for i in 1 .. 3 loop accept m; end loop; end;"
+        )
+        assert lemma4_stall_analysis(p).stall_free
+        unrolled, _ = remove_loops(p)
+        assert not explore(build_sync_graph(unrolled)).has_stall
+
+    def test_mismatched_for_counts_flagged(self):
+        from repro.analysis.stalls import lemma4_stall_analysis
+
+        p = parse_program(
+            "program p;"
+            "task a is begin for i in 1 .. 3 loop send b.m; end loop; end;"
+            "task b is begin for i in 1 .. 2 loop accept m; end loop; end;"
+        )
+        report = lemma4_stall_analysis(p)
+        assert report.verdict == StallVerdict.POSSIBLE_STALL
+        assert report.imbalanced[Signal("b", "m")] == (1, 0)
+
+    def test_while_loop_varies(self):
+        from repro.analysis.stalls import lemma4_stall_analysis
+
+        p = parse_program(
+            "program p;"
+            "task a is begin while ? loop send b.m; end loop; end;"
+            "task b is begin while ? loop accept m; end loop; end;"
+        )
+        assert lemma4_stall_analysis(p).verdict == StallVerdict.UNKNOWN
+
+    def test_unbalanced_arms_vary(self):
+        from repro.analysis.stalls import lemma4_stall_analysis
+
+        p = parse_program(
+            "program p;"
+            "task a is begin if ? then send b.m; end if; end;"
+            "task b is begin accept m; end;"
+        )
+        assert lemma4_stall_analysis(p).verdict == StallVerdict.UNKNOWN
+
+    def test_pipeline_uses_lemma4_fallback(self):
+        p = parse_program(
+            "program p;"
+            "task a is begin if ? then accept go; send b.m; "
+            "else send b.m; accept go; end if; end;"
+            "task b is begin accept m; end;"
+            "task c is begin send a.go; end;"
+        )
+        report = stall_analysis(p)
+        assert report.verdict == StallVerdict.CERTIFIED_FREE
+        assert report.method == "lemma4-net-vectors"

@@ -1,0 +1,248 @@
+"""Source transforms: unroll (Lemma 1), linearize, merge, co-dependent."""
+
+import pytest
+
+from repro.lang.ast_nodes import Accept, If, Send, Signal, While
+from repro.lang.parser import parse_program
+from repro.lang.validate import collect_signals
+from repro.syncgraph.build import build_sync_graph
+from repro.transforms.branch_merge import merge_branch_rendezvous
+from repro.transforms.codependent import (
+    factor_codependent,
+    find_codependent_pairs,
+)
+from repro.transforms.linearize import (
+    count_linearizations,
+    linearizations,
+)
+from repro.transforms.unroll import has_loops, remove_loops, unroll_body
+from repro.waves.explore import exact_deadlock, explore
+
+
+class TestUnroll:
+    def test_loop_free_unchanged(self, handshake):
+        program, changed = remove_loops(handshake)
+        assert not changed
+        assert program is handshake
+
+    def test_while_becomes_two_guarded_copies(self):
+        p = parse_program(
+            "program p; task a is begin while ? loop send b.m; end loop; "
+            "end; task b is begin accept m; accept m; end;"
+        )
+        t, changed = remove_loops(p)
+        assert changed
+        (outer,) = t.task("a").body
+        assert isinstance(outer, If)
+        first, inner = outer.then_body
+        assert isinstance(first, Send)
+        assert isinstance(inner, If)
+        assert inner.then_body == (Send(task="b", message="m"),)
+
+    def test_unrolled_program_is_loop_free(self):
+        p = parse_program(
+            "program p; task a is begin while ? loop while ? loop "
+            "send b.m; end loop; end loop; end;"
+            "task b is begin accept m; end;"
+        )
+        t, _ = remove_loops(p)
+        assert not has_loops(t)
+        assert not build_sync_graph(t).has_control_cycle()
+
+    def test_for_fully_unrolled_when_small(self):
+        p = parse_program(
+            "program p; task a is begin for i in 1 .. 3 loop send b.m; "
+            "end loop; end; task b is begin accept m; accept m; accept m; "
+            "end;"
+        )
+        t, _ = remove_loops(p)
+        body = t.task("a").body
+        assert body == (Send(task="b", message="m"),) * 3
+
+    def test_for_beyond_limit_becomes_guarded(self):
+        p = parse_program(
+            "program p; task a is begin for i in 1 .. 100 loop send b.m; "
+            "end loop; end; task b is begin accept m; end;"
+        )
+        t, _ = remove_loops(p, for_limit=10)
+        (outer,) = t.task("a").body
+        assert isinstance(outer, If)
+
+    def test_factor_parameter(self):
+        p = parse_program(
+            "program p; task a is begin while ? loop send b.m; end loop; "
+            "end; task b is begin accept m; end;"
+        )
+        t3, _ = remove_loops(p, factor=3)
+        sends = [
+            s
+            for s in collect_signals(t3).items()
+        ]
+        assert collect_signals(t3)[Signal("b", "m")][0] == 3
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ValueError):
+            unroll_body((), factor=0)
+
+    def test_lemma1_preserves_deadlock(self):
+        # a deadlock reachable only on the second loop iteration
+        p = parse_program(
+            "program p;"
+            "task a is begin while ? loop send b.m; accept r; end loop; "
+            "send b.bad; accept bad2; end;"
+            "task b is begin while ? loop accept m; send a.r; end loop; "
+            "send a.bad2; accept bad; end;"
+        )
+        t, _ = remove_loops(p)
+        assert exact_deadlock(build_sync_graph(t))
+
+
+class TestLinearize:
+    def test_straight_line_single_linearization(self, handshake):
+        assert count_linearizations(handshake) == 1
+        (only,) = linearizations(handshake)
+        assert only.task("t1").body == handshake.task("t1").body
+
+    def test_branch_doubles_count(self):
+        p = parse_program(
+            "program p; task a is begin if ? then null; else null; end if; "
+            "end; task b is begin null; end;"
+        )
+        assert count_linearizations(p) == 2
+
+    def test_loop_iteration_choices(self):
+        p = parse_program(
+            "program p; task a is begin while ? loop null; end loop; end;"
+            "task b is begin null; end;"
+        )
+        # 0, 1 or 2 iterations
+        assert count_linearizations(p, max_loop_iters=2) == 3
+
+    def test_linearizations_are_branch_free(self):
+        p = parse_program(
+            "program p; task a is begin if ? then send b.m; end if; "
+            "while ? loop null; end loop; end;"
+            "task b is begin accept m; end;"
+        )
+        for lin in linearizations(p):
+            for task in lin.tasks:
+                assert not any(
+                    isinstance(s, (If, While)) for s in task.body
+                )
+
+    def test_limit_respected(self):
+        p = parse_program(
+            "program p; task a is begin if ? then null; end if; "
+            "if ? then null; end if; if ? then null; end if; end;"
+            "task b is begin null; end;"
+        )
+        assert len(list(linearizations(p, limit=3))) == 3
+
+
+class TestBranchMerge:
+    def test_identical_rendezvous_hoisted(self):
+        p = parse_program(
+            "program p;"
+            "task a is begin if ? then send b.m; else send b.m; end if; end;"
+            "task b is begin accept m; end;"
+        )
+        merged, count = merge_branch_rendezvous(p)
+        assert count == 1
+        (stmt,) = merged.task("a").body
+        assert stmt == Send(task="b", message="m")
+
+    def test_split_preserves_order(self):
+        p = parse_program(
+            "program p;"
+            "task a is begin if ? then accept go; send b.m; "
+            "else send b.m; end if; end;"
+            "task b is begin accept m; end;"
+            "task c is begin send a.go; end;"
+        )
+        merged, count = merge_branch_rendezvous(p)
+        assert count == 1
+        body = merged.task("a").body
+        assert isinstance(body[0], If)  # residual conditional: accept go
+        assert body[1] == Send(task="b", message="m")
+
+    def test_different_signals_not_merged(self):
+        p = parse_program(
+            "program p;"
+            "task a is begin if ? then send b.m; else send b.n; end if; end;"
+            "task b is begin accept m; accept n; end;"
+        )
+        merged, count = merge_branch_rendezvous(p)
+        assert count == 0
+        assert merged is p
+
+    def test_repeated_merges_reach_fixpoint(self):
+        p = parse_program(
+            "program p;"
+            "task a is begin if ? then send b.m; send b.n; "
+            "else send b.m; send b.n; end if; end;"
+            "task b is begin accept m; accept n; end;"
+        )
+        merged, count = merge_branch_rendezvous(p)
+        assert count == 2
+        assert merged.task("a").body == (
+            Send(task="b", message="m"),
+            Send(task="b", message="n"),
+        )
+
+    def test_merge_is_anomaly_preserving(self):
+        # merging may only ADD paths: a deadlock-free original stays a
+        # subset of the merged behaviours; exact verdicts must not go
+        # from anomalous to clean
+        p = parse_program(
+            "program p;"
+            "task a is begin if ? then send b.m; else send b.m; end if; end;"
+            "task b is begin if ? then accept m; end if; end;"
+        )
+        merged, _ = merge_branch_rendezvous(p)
+        before = explore(build_sync_graph(p))
+        after = explore(build_sync_graph(merged))
+        assert before.has_anomaly <= after.has_anomaly
+
+
+class TestCodependent:
+    def test_fig5d_pair_detected(self, corpus):
+        pairs = find_codependent_pairs(corpus["fig5d"].program)
+        assert len(pairs) == 1
+        pair = pairs[0]
+        assert pair.sender_task == "t"
+        assert pair.accepter_task == "tp"
+        assert pair.signal == Signal("tp", "r")
+
+    def test_factoring_hoists_both_sides(self, corpus):
+        factored, pairs = factor_codependent(corpus["fig5d"].program)
+        assert pairs
+        for task in factored.tasks:
+            for stmt in task.body:
+                if isinstance(stmt, If):
+                    assert not any(
+                        isinstance(s, (Send, Accept))
+                        for s in stmt.then_body
+                    )
+
+    def test_no_pair_without_communication(self):
+        p = parse_program(
+            "program p;"
+            "task t is begin v := ?; if v then send u.r; end if; end;"
+            "task u is begin w := ?; if w then accept r; end if; end;"
+        )
+        assert find_codependent_pairs(p) == []
+
+    def test_no_pair_when_signal_ambiguous(self):
+        p = parse_program(
+            "program p;"
+            "task t is begin v := ?; send u.s; if v then send u.r; "
+            "end if; send u.r; end;"
+            "task u is begin accept s (v); if v then accept r; end if; "
+            "accept r; end;"
+        )
+        assert find_codependent_pairs(p) == []
+
+    def test_factoring_identity_without_pairs(self, handshake):
+        factored, pairs = factor_codependent(handshake)
+        assert factored is handshake
+        assert pairs == []

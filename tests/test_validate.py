@@ -1,0 +1,86 @@
+"""Semantic validation tests."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.lang.ast_nodes import Signal
+from repro.lang.parser import parse_program
+from repro.lang.validate import collect_signals, validate_program
+
+
+class TestHardErrors:
+    def test_duplicate_task_names(self):
+        p = parse_program(
+            "program p; task t is begin end; task t is begin end;"
+        )
+        with pytest.raises(ValidationError, match="duplicate"):
+            validate_program(p)
+
+    def test_send_to_unknown_task(self):
+        p = parse_program("program p; task t is begin send ghost.m; end;")
+        with pytest.raises(ValidationError, match="unknown task"):
+            validate_program(p)
+
+    def test_send_to_self(self):
+        p = parse_program("program p; task t is begin send t.m; end;")
+        with pytest.raises(ValidationError, match="itself"):
+            validate_program(p)
+
+    def test_send_inside_conditional_checked(self):
+        p = parse_program(
+            "program p; task t is begin if ? then send ghost.m; end if; end;"
+        )
+        with pytest.raises(ValidationError):
+            validate_program(p)
+
+
+class TestSignalCollection:
+    def test_counts_per_signal(self):
+        p = parse_program(
+            "program p;"
+            "task a is begin send b.m; send b.m; end;"
+            "task b is begin accept m; end;"
+        )
+        counts = collect_signals(p)
+        assert counts[Signal("b", "m")] == (2, 1)
+
+    def test_counts_include_conditional_occurrences(self):
+        p = parse_program(
+            "program p;"
+            "task a is begin if ? then send b.m; end if; end;"
+            "task b is begin while ? loop accept m; end loop; end;"
+        )
+        counts = collect_signals(p)
+        assert counts[Signal("b", "m")] == (1, 1)
+
+    def test_accept_signal_uses_own_task(self):
+        p = parse_program(
+            "program p; task a is begin accept m; end;"
+            "task b is begin send a.m; end;"
+        )
+        assert Signal("a", "m") in collect_signals(p)
+
+
+class TestSoftFindings:
+    def test_unmatched_send_reported(self):
+        p = parse_program(
+            "program p; task a is begin send b.m; end; task b is begin end;"
+        )
+        report = validate_program(p)
+        assert Signal("b", "m") in report.unmatched_sends
+        assert not report.fully_matched
+        assert any("never accepted" in w for w in report.warnings)
+
+    def test_unmatched_accept_reported(self):
+        p = parse_program(
+            "program p; task a is begin accept m; end;"
+            "task b is begin null; end;"
+        )
+        report = validate_program(p)
+        assert Signal("a", "m") in report.unmatched_accepts
+
+    def test_clean_program_fully_matched(self, handshake):
+        report = validate_program(handshake)
+        assert report.fully_matched
+        assert report.warnings == []
+        assert report.task_names == ("t1", "t2")

@@ -1,0 +1,200 @@
+"""Execution-wave semantics tests (paper, Section 2)."""
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.syncgraph.build import build_sync_graph
+from repro.waves.anomaly import (
+    classify_wave,
+    deadlock_sets,
+    is_anomalous,
+    stall_nodes,
+)
+from repro.waves.coupling import coupled_to, transitively_coupled_sets
+from repro.waves.wave import Wave, initial_waves, next_waves, ready_pairs
+
+
+def graph_for(src):
+    return build_sync_graph(parse_program(src))
+
+
+class TestInitialWaves:
+    def test_single_initial_wave_for_straight_line(self, handshake):
+        sg = build_sync_graph(handshake)
+        waves = initial_waves(sg)
+        assert len(waves) == 1
+        assert all(p.is_rendezvous for p in waves[0].positions)
+
+    def test_branching_entry_multiplies_waves(self):
+        sg = graph_for(
+            "program p;"
+            "task a is begin if ? then send b.x; else send b.y; end if; end;"
+            "task b is begin accept x; end;"
+        )
+        # task a: two entry options; task b: one
+        assert len(initial_waves(sg)) == 2
+
+    def test_rendezvous_free_task_starts_at_e(self):
+        sg = graph_for(
+            "program p; task a is begin null; end;"
+            "task b is begin null; end;"
+        )
+        (wave,) = initial_waves(sg)
+        assert wave.is_terminal(sg)
+
+
+class TestStepping:
+    def test_ready_pairs_on_handshake(self, handshake):
+        sg = build_sync_graph(handshake)
+        (wave,) = initial_waves(sg)
+        assert len(ready_pairs(sg, wave)) == 1
+
+    def test_next_waves_advances_both_tasks(self, handshake):
+        sg = build_sync_graph(handshake)
+        (wave,) = initial_waves(sg)
+        nexts = list(next_waves(sg, wave))
+        assert len(nexts) == 1
+        nxt = nexts[0]
+        assert all(
+            p is not q for p, q in zip(wave.positions, nxt.positions)
+        )
+
+    def test_terminal_wave_has_no_successors(self, handshake):
+        sg = build_sync_graph(handshake)
+        wave = Wave((sg.e, sg.e))
+        assert wave.is_terminal(sg)
+        assert list(next_waves(sg, wave)) == []
+
+    def test_wave_replace_is_functional(self, handshake):
+        sg = build_sync_graph(handshake)
+        (wave,) = initial_waves(sg)
+        other = wave.replace(0, sg.e)
+        assert other is not wave
+        assert wave.positions[0] is not sg.e
+
+
+class TestAnomalies:
+    def test_handshake_initial_wave_not_anomalous(self, handshake):
+        sg = build_sync_graph(handshake)
+        (wave,) = initial_waves(sg)
+        assert not is_anomalous(sg, wave)
+
+    def test_crossed_initial_wave_anomalous(self, crossed):
+        sg = build_sync_graph(crossed)
+        (wave,) = initial_waves(sg)
+        assert is_anomalous(sg, wave)
+
+    def test_all_terminal_wave_not_anomalous(self, handshake):
+        sg = build_sync_graph(handshake)
+        assert not is_anomalous(sg, Wave((sg.e, sg.e)))
+
+    def test_stall_nodes_unmatched_send(self, stall_program):
+        sg = build_sync_graph(stall_program)
+        (wave,) = initial_waves(sg)
+        assert is_anomalous(sg, wave)
+        stalls = stall_nodes(sg, wave)
+        assert [s.triple for s in stalls] == [("t2", "m", "+")]
+
+    def test_crossed_wave_is_deadlock_not_stall(self, crossed):
+        sg = build_sync_graph(crossed)
+        (wave,) = initial_waves(sg)
+        assert stall_nodes(sg, wave) == ()
+        sets = deadlock_sets(sg, wave)
+        assert len(sets) == 1
+        assert len(sets[0]) == 2
+
+    def test_classify_rejects_non_anomalous(self, handshake):
+        sg = build_sync_graph(handshake)
+        (wave,) = initial_waves(sg)
+        with pytest.raises(ValueError):
+            classify_wave(sg, wave)
+
+    def test_theorem1_coverage_on_crossed(self, crossed):
+        sg = build_sync_graph(crossed)
+        (wave,) = initial_waves(sg)
+        assert classify_wave(sg, wave).covers_all_nodes
+
+
+class TestCoupling:
+    def test_crossed_coupling_is_mutual(self, crossed):
+        sg = build_sync_graph(crossed)
+        (wave,) = initial_waves(sg)
+        a, b = wave.positions
+        assert b in coupled_to(sg, wave, a)
+        assert a in coupled_to(sg, wave, b)
+
+    def test_coupling_requires_strict_descendant(self, handshake):
+        sg = build_sync_graph(handshake)
+        (wave,) = initial_waves(sg)
+        send, accept = wave.positions
+        # the handshake pair rendezvouses directly: accept's partner is
+        # send itself, not a strict descendant, so no coupling
+        assert send not in coupled_to(sg, wave, accept)
+
+    def test_transitively_coupled_sets_on_three_task_cycle(self):
+        sg = graph_for(
+            "program p;"
+            "task a is begin send b.m1; accept m3; end;"
+            "task b is begin send c.m2; accept m1; end;"
+            "task c is begin send a.m3; accept m2; end;"
+        )
+        (wave,) = initial_waves(sg)
+        sets = transitively_coupled_sets(sg, wave)
+        assert len(sets) == 1
+        assert len(sets[0]) == 3
+
+    def test_coupled_waves_classification(self):
+        # t3 waits on a signal only the deadlocked t1 could send later:
+        # it is transitively coupled to the deadlock, not part of it.
+        sg = graph_for(
+            "program p;"
+            "task t1 is begin send t2.a; accept x; send t3.z; end;"
+            "task t2 is begin send t1.x; accept a; end;"
+            "task t3 is begin accept z; end;"
+        )
+        (wave,) = initial_waves(sg)
+        info = classify_wave(sg, wave)
+        assert info.has_deadlock
+        coupled_tasks = {n.task for n in info.coupled_to_anomaly}
+        assert coupled_tasks == {"t3"}
+        assert info.covers_all_nodes
+
+
+class TestWaveGraphExport:
+    def test_deadlock_highlighted(self, crossed):
+        from repro.waves.dot import wave_graph_to_dot
+
+        sg = build_sync_graph(crossed)
+        dot = wave_graph_to_dot(sg)
+        assert dot.startswith("digraph")
+        assert "indianred" in dot
+
+    def test_terminal_doublecircled(self, handshake):
+        from repro.waves.dot import wave_graph_to_dot
+
+        dot = wave_graph_to_dot(build_sync_graph(handshake))
+        assert "doublecircle" in dot
+        assert "indianred" not in dot and "orange" not in dot
+
+    def test_stall_highlighted(self, stall_program):
+        from repro.waves.dot import wave_graph_to_dot
+
+        dot = wave_graph_to_dot(build_sync_graph(stall_program))
+        assert "orange" in dot
+
+    def test_state_limit(self):
+        from repro.errors import ExplorationLimitError
+        from repro.waves.dot import wave_graph_to_dot
+        from repro.workloads.patterns import dining_philosophers
+
+        with pytest.raises(ExplorationLimitError):
+            wave_graph_to_dot(
+                build_sync_graph(dining_philosophers(4, True)),
+                state_limit=3,
+            )
+
+    def test_edges_labelled_with_signals(self, handshake):
+        from repro.waves.dot import wave_graph_to_dot
+
+        dot = wave_graph_to_dot(build_sync_graph(handshake))
+        assert 'label="t2.sig1"' in dot

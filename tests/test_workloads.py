@@ -1,0 +1,164 @@
+"""Workload generators and the paper corpus."""
+
+import pytest
+
+from repro.lang.validate import validate_program
+from repro.syncgraph.build import build_sync_graph
+from repro.transforms.unroll import remove_loops
+from repro.waves.explore import explore
+from repro.workloads.corpus import paper_corpus
+from repro.workloads.patterns import (
+    client_server,
+    crossed_pair,
+    dining_philosophers,
+    handshake_chain,
+    master_workers,
+    pipeline,
+    token_ring,
+)
+from repro.workloads.random_programs import (
+    RandomProgramConfig,
+    random_program,
+    random_serializable_program,
+)
+
+
+class TestPatterns:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: dining_philosophers(4, True),
+            lambda: dining_philosophers(4, False),
+            lambda: pipeline(4, 3),
+            lambda: client_server(3, 2),
+            lambda: client_server(2, 1, shared_reply=True),
+            lambda: token_ring(5, 2),
+            lambda: master_workers(3, 2),
+            lambda: crossed_pair(),
+            lambda: handshake_chain(4, 2),
+        ],
+    )
+    def test_patterns_validate(self, factory):
+        validate_program(factory())
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            dining_philosophers(1)
+        with pytest.raises(ValueError):
+            pipeline(1)
+        with pytest.raises(ValueError):
+            token_ring(1)
+
+    def test_known_verdicts(self):
+        assert explore(build_sync_graph(pipeline(3, 2))).has_anomaly is False
+        assert explore(build_sync_graph(crossed_pair())).has_deadlock
+
+    def test_philosopher_asymmetry_fixes_deadlock(self):
+        bad = explore(build_sync_graph(dining_philosophers(3, True)))
+        good = explore(build_sync_graph(dining_philosophers(3, False)))
+        assert bad.has_deadlock and not good.has_deadlock
+
+
+class TestRandomPrograms:
+    def test_deterministic(self):
+        cfg = RandomProgramConfig(tasks=3, statements_per_task=4)
+        assert random_program(cfg, seed=5) == random_program(cfg, seed=5)
+
+    def test_validates_for_many_seeds(self):
+        cfg = RandomProgramConfig(
+            tasks=4, statements_per_task=5, branch_prob=0.3, loop_prob=0.1
+        )
+        for seed in range(25):
+            validate_program(random_program(cfg, seed=seed))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RandomProgramConfig(tasks=1)
+
+    def test_serializable_programs_can_complete(self):
+        for seed in range(10):
+            program = random_serializable_program(
+                tasks=3, rendezvous=6, seed=seed
+            )
+            result = explore(build_sync_graph(program))
+            assert result.can_terminate
+
+    def test_serializable_programs_are_balanced(self):
+        from repro.analysis.stalls import lemma3_stall_analysis
+
+        for seed in range(10):
+            program = random_serializable_program(
+                tasks=3, rendezvous=6, seed=seed
+            )
+            assert lemma3_stall_analysis(program).stall_free
+
+
+class TestCorpus:
+    def test_all_figures_present(self, corpus):
+        assert set(corpus) == {
+            "fig1",
+            "fig2a",
+            "fig2b",
+            "fig3",
+            "fig4a",
+            "fig4c",
+            "fig5a",
+            "fig5bc",
+            "fig5d",
+        }
+
+    def test_corpus_programs_validate(self, corpus):
+        for entry in corpus.values():
+            validate_program(entry.program)
+
+    def test_expectations_match_exact_semantics(self, corpus):
+        for entry in corpus.values():
+            program, _ = remove_loops(entry.program)
+            result = explore(build_sync_graph(program))
+            assert result.has_deadlock == entry.expect_deadlock, entry.name
+            assert result.has_stall == entry.expect_stall, entry.name
+
+
+class TestNewPatterns:
+    def test_barrier_clean(self):
+        from repro.workloads.patterns import barrier
+
+        result = explore(build_sync_graph(barrier(3, 2)))
+        assert not result.has_anomaly
+        assert result.can_terminate
+
+    def test_gossip_ring_clean_and_certified(self):
+        from repro.analysis.refined import refined_deadlock_analysis
+        from repro.workloads.patterns import gossip_ring
+
+        graph = build_sync_graph(gossip_ring(5))
+        assert not explore(graph).has_anomaly
+        assert refined_deadlock_analysis(graph).deadlock_free
+
+    def test_barrier_parameter_validation(self):
+        from repro.workloads.patterns import barrier, gossip_ring
+
+        with pytest.raises(ValueError):
+            barrier(0)
+        with pytest.raises(ValueError):
+            gossip_ring(1)
+
+
+class TestUniqueMessageFamily:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_provably_deadlock_free(self, seed):
+        program = random_serializable_program(
+            tasks=4, rendezvous=8, seed=seed, unique_messages=True
+        )
+        assert not explore(build_sync_graph(program)).has_anomaly
+
+    def test_refined_certifies_unique_family(self):
+        from repro.analysis.refined import refined_deadlock_analysis
+
+        for seed in range(8):
+            program = random_serializable_program(
+                tasks=4, rendezvous=8, seed=seed, unique_messages=True
+            )
+            assert refined_deadlock_analysis(
+                build_sync_graph(program)
+            ).deadlock_free
