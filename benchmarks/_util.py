@@ -12,7 +12,7 @@ Run with::
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Callable, Iterable, List, Sequence
 
 
 def print_table(
@@ -40,3 +40,36 @@ def bench_once(benchmark, fn):
     runs without repeating minutes of computation.
     """
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def attach_metrics(benchmark, fn: Callable[[], object]) -> dict:
+    """Run ``fn`` once under observability and attach the snapshot.
+
+    The run happens *outside* the timed rounds (observability stays
+    disabled while pytest-benchmark measures), and the counter/gauge
+    snapshot lands in ``benchmark.extra_info["metrics"]`` — so saved
+    benchmark JSON carries pruning-effectiveness and precision counters
+    that can be diffed across PRs alongside the timings.
+    """
+    from repro import obs
+    from repro.obs.export import session_to_dict
+
+    with obs.observed() as session:
+        fn()
+    snapshot = session_to_dict(session)
+    # Span trees vary run to run; keep only the diff-stable scalars.
+    benchmark.extra_info["metrics"] = {
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+    }
+    return snapshot
+
+
+def print_pruning_summary(title: str, snapshot: dict) -> None:
+    """Print the per-rule pruning counters from an obs snapshot."""
+    rows = [
+        (key, value)
+        for key, value in sorted(snapshot["counters"].items())
+        if key.startswith("refined.pruned") and value
+    ]
+    print_table(title, ["counter", "value"], rows)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from _util import print_table
+from _util import attach_metrics, print_pruning_summary, print_table
 from repro.analysis.naive import naive_deadlock_analysis
 from repro.analysis.refined import refined_deadlock_analysis
 from repro.syncgraph.build import build_sync_graph
@@ -44,6 +44,12 @@ def test_fig1_naive_reports_spurious_cycles(fig1_graph, benchmark):
 def test_fig1_refined_certifies(fig1_graph, benchmark):
     report = benchmark(refined_deadlock_analysis, fig1_graph)
     assert report.deadlock_free
+    # Untimed observed rerun: pruning-effectiveness counters ride along
+    # in the saved benchmark JSON so trajectories diff across PRs.
+    snapshot = attach_metrics(
+        benchmark, lambda: refined_deadlock_analysis(fig1_graph)
+    )
+    print_pruning_summary("E1: fig1 pruning effectiveness", snapshot)
     print_table(
         "E1: verdicts on fig1",
         ["algorithm", "verdict", "heads examined"],

@@ -65,6 +65,25 @@ def main() -> None:
     assert not exact.deadlock.deadlock_free
     print("\nexact exploration confirms the deadlock.")
 
+    # --- observability: where did the time go, what got pruned? ---
+    # The CLI equivalents are:
+    #
+    #     repro-analyze program.adl --trace
+    #     repro-analyze program.adl --json --metrics-out metrics.json
+    #     repro-analyze program.adl --metrics-out metrics.prom
+    #
+    from repro import obs
+    from repro.obs.export import session_to_dict
+
+    print("\n--- observed rerun: span tree and pruning counters ---")
+    with obs.observed() as session:
+        repro.analyze(HANDSHAKE)
+    print(session.tracer.render())
+    snapshot = session_to_dict(session)
+    for name, value in sorted(snapshot["counters"].items()):
+        if value:
+            print(f"{name} = {value}")
+
 
 if __name__ == "__main__":
     main()

@@ -25,6 +25,7 @@ from __future__ import annotations
 from itertools import combinations
 from typing import FrozenSet, List, Optional, Set, Tuple
 
+from .. import obs
 from ..errors import AnalysisError
 from ..syncgraph.clg import CLG, CLGEdge, CLGNode, EdgeKind, build_clg
 from ..syncgraph.model import SyncGraph, SyncNode
@@ -153,6 +154,14 @@ def head_pairs_analysis(
                     component=project_component(component), head=h1, tail=h2
                 )
             )
+    if obs.is_enabled():
+        enumerated = len(heads) * (len(heads) - 1) // 2
+        obs.counter(
+            "extensions.pairs_enumerated", analysis="head-pairs"
+        ).inc(enumerated)
+        obs.counter(
+            "extensions.pairs_examined", analysis="head-pairs"
+        ).inc(examined)
     verdict = Verdict.CERTIFIED_FREE if not evidence else Verdict.POSSIBLE_DEADLOCK
     return DeadlockReport(
         verdict=verdict,
@@ -229,6 +238,13 @@ def head_tail_analysis(
                     )
                 )
                 break  # one surviving tail suffices to flag this head
+    if obs.is_enabled():
+        obs.counter(
+            "extensions.pairs_enumerated", analysis="head-tail"
+        ).inc(examined)
+        obs.counter(
+            "extensions.pairs_examined", analysis="head-tail"
+        ).inc(examined)
     verdict = Verdict.CERTIFIED_FREE if not evidence else Verdict.POSSIBLE_DEADLOCK
     return DeadlockReport(
         verdict=verdict,
@@ -307,6 +323,13 @@ def combined_pairs_analysis(
                     component=project_component(component), head=h1, tail=h2
                 )
             )
+    if obs.is_enabled():
+        obs.counter(
+            "extensions.pairs_enumerated", analysis="combined-pairs"
+        ).inc(total)
+        obs.counter(
+            "extensions.pairs_examined", analysis="combined-pairs"
+        ).inc(examined)
     verdict = Verdict.CERTIFIED_FREE if not evidence else Verdict.POSSIBLE_DEADLOCK
     return DeadlockReport(
         verdict=verdict,
@@ -457,6 +480,13 @@ def k_pairs_analysis(
                     tail=combo[1][0],
                 )
             )
+    if obs.is_enabled():
+        obs.counter(
+            "extensions.pairs_enumerated", analysis=f"k-pairs({k})"
+        ).inc(total)
+        obs.counter(
+            "extensions.pairs_examined", analysis=f"k-pairs({k})"
+        ).inc(examined)
     verdict = Verdict.CERTIFIED_FREE if not evidence else Verdict.POSSIBLE_DEADLOCK
     return DeadlockReport(
         verdict=verdict,

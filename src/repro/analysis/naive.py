@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, List
 
+from .. import obs
 from ..errors import AnalysisError
 from ..syncgraph.clg import CLG, CLGNode, build_clg
 from ..syncgraph.model import SyncGraph, SyncNode
@@ -46,7 +47,11 @@ def naive_deadlock_analysis(
         )
     if clg is None:
         clg = build_clg(graph)
-    components = clg.cyclic_components()
+    with obs.span("naive.scc", clg_nodes=clg.node_count):
+        components = clg.cyclic_components()
+    if obs.is_enabled():
+        obs.counter("naive.scc_passes").inc()
+        obs.counter("naive.cyclic_components").inc(len(components))
     evidence: List[DeadlockEvidence] = [
         DeadlockEvidence(component=project_component(c)) for c in components
     ]

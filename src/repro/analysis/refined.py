@@ -30,8 +30,9 @@ deadlock.  Total cost is ``O(|N_CLG| · (|N_CLG| + |E_CLG|))``.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from .. import obs
 from ..errors import AnalysisError
 from ..syncgraph.clg import CLG, CLGEdge, CLGNode, EdgeKind, build_clg
 from ..syncgraph.model import SyncGraph, SyncNode
@@ -45,7 +46,20 @@ __all__ = [
     "coaccept_of",
     "refined_deadlock_analysis",
     "component_for_head",
+    "PRUNE_RULES",
 ]
+
+# Pruning rules, in marking order.  A node marked by several rules is
+# attributed to the first that claims it (the counters measure where
+# pruning power comes from, not set-theoretic overlap).
+PRUNE_RULES = (
+    "sequenceable",
+    "same_task",
+    "sync_partner",
+    "coaccept",
+    "constraint4",
+    "not_coexec",
+)
 
 
 def possible_heads(graph: SyncGraph) -> Tuple[SyncNode, ...]:
@@ -87,6 +101,7 @@ def component_for_head(
     coexec: CoExecInfo,
     use_coaccept: bool = True,
     global_no_sync: FrozenSet[SyncNode] = frozenset(),
+    prune_counts: Optional[Dict[str, int]] = None,
 ) -> Optional[FrozenSet[CLGNode]]:
     """Run one head hypothesis; return the cyclic component of ``h_i``.
 
@@ -97,6 +112,12 @@ def component_for_head(
     ``global_no_sync`` carries hypothesis-independent head exclusions
     (nodes proven unable to wait on any anomalous wave, e.g. by the
     constraint-4 breaker check): their ``k_i`` loses sync edges.
+
+    ``prune_counts``, when given, accumulates per-rule pruning
+    effectiveness (``<rule>_nodes`` marks and ``<rule>_sync_edges`` /
+    ``not_coexec_edges`` actual removals, rules per :data:`PRUNE_RULES`)
+    across calls.  It adds an extra edge sweep per head, so the
+    observability layer only requests it when enabled.
     """
     no_sync: Set[CLGNode] = {clg.in_node(k) for k in global_no_sync}
     do_not_enter: Set[CLGNode] = set()
@@ -115,6 +136,19 @@ def component_for_head(
         do_not_enter.add(clg.in_node(k))
         do_not_enter.add(clg.out_node(k))
 
+    if prune_counts is not None:
+        _count_pruning(
+            graph,
+            clg,
+            head,
+            orderings,
+            coexec,
+            global_no_sync,
+            use_coaccept,
+            do_not_enter,
+            prune_counts,
+        )
+
     h_i = clg.in_node(head)
     if h_i in do_not_enter or h_i in no_sync:
         return None
@@ -131,6 +165,75 @@ def component_for_head(
         if h_i in component:
             return component
     return None
+
+
+def _count_pruning(
+    graph: SyncGraph,
+    clg: CLG,
+    head: SyncNode,
+    orderings: OrderingInfo,
+    coexec: CoExecInfo,
+    global_no_sync: FrozenSet[SyncNode],
+    use_coaccept: bool,
+    do_not_enter: Set[CLGNode],
+    prune_counts: Dict[str, int],
+) -> None:
+    """Accumulate per-rule pruning effectiveness for one hypothesis.
+
+    ``<rule>_nodes`` counts CLG node marks/removals; ``<rule>_sync_edges``
+    counts sync edges actually suppressed by that rule's NO-SYNC marks
+    (``not_coexec_edges`` counts all edges lost to DO-NOT-ENTER node
+    removal).  Attribution is first-match in :data:`PRUNE_RULES` order.
+    """
+    coacc: Set[CLGNode] = set()
+    if use_coaccept:
+        for k in coaccept_of(graph, head):
+            coacc.add(clg.in_node(k))
+            coacc.add(clg.out_node(k))
+    rule_marks = (
+        (
+            "sequenceable",
+            {clg.in_node(k) for k in orderings.sequenceable_with(head)},
+        ),
+        (
+            "same_task",
+            {
+                clg.in_node(k)
+                for k in graph.nodes_of_task(head.task)
+                if k is not head
+            },
+        ),
+        (
+            "sync_partner",
+            {clg.in_node(k) for k in graph.sync_neighbors(head)},
+        ),
+        ("coaccept", coacc),
+        ("constraint4", {clg.in_node(k) for k in global_no_sync}),
+    )
+    claimed: Dict[CLGNode, str] = {}
+    for rule, marks in rule_marks:
+        fresh = [n for n in marks if n not in claimed]
+        for n in fresh:
+            claimed[n] = rule
+        prune_counts[f"{rule}_nodes"] = prune_counts.get(
+            f"{rule}_nodes", 0
+        ) + len(fresh)
+    prune_counts["not_coexec_nodes"] = prune_counts.get(
+        "not_coexec_nodes", 0
+    ) + len(do_not_enter)
+
+    for edge in clg.edges():
+        if edge.src in do_not_enter or edge.dst in do_not_enter:
+            prune_counts["not_coexec_edges"] = (
+                prune_counts.get("not_coexec_edges", 0) + 1
+            )
+            continue
+        if edge.kind != EdgeKind.SYNC:
+            continue
+        rule = claimed.get(edge.src) or claimed.get(edge.dst)
+        if rule is not None:
+            key = f"{rule}_sync_edges"
+            prune_counts[key] = prune_counts.get(key, 0) + 1
 
 
 def refined_deadlock_analysis(
@@ -152,36 +255,66 @@ def refined_deadlock_analysis(
             "refined analysis requires acyclic control flow; apply "
             "repro.transforms.unroll.remove_loops first"
         )
-    if clg is None:
-        clg = build_clg(graph)
-    if orderings is None:
-        orderings = compute_orderings(graph)
-    if coexec is None:
-        coexec = compute_coexec(graph)
+    with obs.span("refined.precompute"):
+        if clg is None:
+            clg = build_clg(graph)
+        if orderings is None:
+            orderings = compute_orderings(graph)
+        if coexec is None:
+            coexec = compute_coexec(graph)
 
+    observing = obs.is_enabled()
+    prune_counts: Optional[Dict[str, int]] = {} if observing else None
     heads = possible_heads(graph)
     evidence: List[DeadlockEvidence] = []
-    for head in heads:
-        component = component_for_head(
-            graph, clg, head, orderings, coexec, use_coaccept, global_no_sync
-        )
-        if component is not None:
-            evidence.append(
-                DeadlockEvidence(
-                    component=project_component(component), head=head
-                )
+    with obs.span("refined.heads", heads=len(heads)):
+        for head in heads:
+            component = component_for_head(
+                graph,
+                clg,
+                head,
+                orderings,
+                coexec,
+                use_coaccept,
+                global_no_sync,
+                prune_counts,
             )
+            if component is not None:
+                evidence.append(
+                    DeadlockEvidence(
+                        component=project_component(component), head=head
+                    )
+                )
     verdict = Verdict.CERTIFIED_FREE if not evidence else Verdict.POSSIBLE_DEADLOCK
+    stats = {
+        "clg_nodes": clg.node_count,
+        "clg_edges": clg.edge_count,
+        "poss_heads": len(heads),
+        "ordered_pairs": orderings.pair_count,
+        "not_coexec_pairs": coexec.pair_count,
+    }
+    if observing:
+        obs.counter("refined.heads_examined").inc(len(heads))
+        obs.counter("refined.scc_passes").inc(len(heads))
+        obs.counter("refined.components_flagged").inc(len(evidence))
+        assert prune_counts is not None
+        for rule in PRUNE_RULES:
+            obs.counter("refined.pruned_nodes", rule=rule).inc(
+                prune_counts.get(f"{rule}_nodes", 0)
+            )
+            edge_key = (
+                "not_coexec_edges"
+                if rule == "not_coexec"
+                else f"{rule}_sync_edges"
+            )
+            obs.counter("refined.pruned_edges", rule=rule).inc(
+                prune_counts.get(edge_key, 0)
+            )
+        stats["pruning"] = dict(sorted(prune_counts.items()))
     return DeadlockReport(
         verdict=verdict,
         algorithm="refined",
         evidence=evidence,
         heads_examined=len(heads),
-        stats={
-            "clg_nodes": clg.node_count,
-            "clg_edges": clg.edge_count,
-            "poss_heads": len(heads),
-            "ordered_pairs": orderings.pair_count,
-            "not_coexec_pairs": coexec.pair_count,
-        },
+        stats=stats,
     )

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Union
 
+from . import obs
 from .analysis.constraint4 import constraint4_deadlock_analysis
 from .analysis.extensions import (
     combined_pairs_analysis,
@@ -68,15 +69,15 @@ class AnalysisResult:
     """Everything one ``analyze`` call produced."""
 
     program: Program
-    analyzed_program: Program  # after loop removal, if it differed
+    analyzed_program: Program  # after loop removal/inlining, if it differed
     validation: ValidationReport
     sync_graph: SyncGraph
     deadlock: DeadlockReport
     stall: StallReport
-
-    @property
-    def loops_transformed(self) -> bool:
-        return self.analyzed_program is not self.program
+    # Whether the Lemma-1 unroll actually fired.  Not derivable from
+    # `analyzed_program is not program`: procedure inlining alone also
+    # swaps the program object.
+    loops_transformed: bool = False
 
     def describe(self) -> str:
         lines = [f"program {self.program.name}:"]
@@ -107,39 +108,55 @@ def analyze(
     Lemma-1 double-unroll transform automatically; the report records
     whether that happened.
     """
-    source_program = _coerce(program)
-    inlined, procedures_inlined = inline_procedures(source_program)
-    validation = validate_program(inlined)
-    analyzed, transformed = remove_loops(inlined)
-    graph = build_sync_graph(analyzed)
+    with obs.span("analyze", algorithm=algorithm):
+        with obs.span("analyze.parse"):
+            source_program = _coerce(program)
+        with obs.span("analyze.inline"):
+            inlined, procedures_inlined = inline_procedures(source_program)
+        with obs.span("analyze.validate"):
+            validation = validate_program(inlined)
+        with obs.span("analyze.unroll") as unroll_span:
+            analyzed, transformed = remove_loops(inlined)
+            unroll_span.set_attribute("transformed", transformed)
+        with obs.span("analyze.sync_graph") as sg_span:
+            graph = build_sync_graph(analyzed)
+            sg_span.set_attribute("nodes", len(graph.rendezvous_nodes))
 
-    if exact or algorithm == "exact":
-        result = explore(graph, state_limit=state_limit)
-        deadlock = DeadlockReport(
-            verdict=(
-                Verdict.POSSIBLE_DEADLOCK
-                if result.has_deadlock
-                else Verdict.CERTIFIED_FREE
-            ),
-            algorithm="exact-waves",
-            stats={"feasible_waves": result.visited_count},
-        )
-    else:
-        try:
-            runner = ALGORITHMS[algorithm]
-        except KeyError:
-            raise AnalysisError(
-                f"unknown algorithm {algorithm!r}; choose one of "
-                f"{sorted(ALGORITHMS)} or 'exact'"
-            ) from None
-        deadlock = runner(graph)
-    deadlock.loops_transformed = transformed
-    if procedures_inlined:
-        deadlock.stats["procedures_inlined"] = len(
-            source_program.procedures
-        )
+        with obs.span("analyze.deadlock", algorithm=algorithm):
+            if exact or algorithm == "exact":
+                result = explore(graph, state_limit=state_limit)
+                deadlock = DeadlockReport(
+                    verdict=(
+                        Verdict.POSSIBLE_DEADLOCK
+                        if result.has_deadlock
+                        else Verdict.CERTIFIED_FREE
+                    ),
+                    algorithm="exact-waves",
+                    stats={"feasible_waves": result.visited_count},
+                )
+            else:
+                try:
+                    runner = ALGORITHMS[algorithm]
+                except KeyError:
+                    raise AnalysisError(
+                        f"unknown algorithm {algorithm!r}; choose one of "
+                        f"{sorted(ALGORITHMS)} or 'exact'"
+                    ) from None
+                deadlock = runner(graph)
+        deadlock.loops_transformed = transformed
+        if procedures_inlined:
+            deadlock.stats["procedures_inlined"] = len(
+                source_program.procedures
+            )
 
-    stall = stall_analysis(inlined)
+        with obs.span("analyze.stall"):
+            stall = stall_analysis(inlined)
+        if obs.is_enabled():
+            obs.counter("analyze.runs").inc()
+            obs.gauge("syncgraph.rendezvous_nodes").set(
+                len(graph.rendezvous_nodes)
+            )
+            obs.gauge("syncgraph.tasks").set(len(graph.tasks))
     return AnalysisResult(
         program=source_program,
         analyzed_program=analyzed
@@ -149,6 +166,7 @@ def analyze(
         sync_graph=graph,
         deadlock=deadlock,
         stall=stall,
+        loops_transformed=transformed,
     )
 
 

@@ -7,6 +7,9 @@ Examples::
     repro-analyze program.adl --algorithm exact --json
     repro-analyze program.adl --dot sync.dot --clg-dot clg.dot
     repro-analyze program.adl --simulate 100
+    repro-analyze program.adl --trace
+    repro-analyze program.adl --json --metrics-out metrics.json
+    repro-analyze program.adl --metrics-out metrics.prom
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from . import obs
 from .analysis.confirm import confirm_deadlock_report
 from .api import ALGORITHMS, analyze
 from .errors import ReproError
@@ -74,19 +78,47 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--state-limit",
         type=int,
         default=200_000,
-        help="state budget for --algorithm exact (default: 200000)",
+        help=(
+            "state budget for bounded exact searches — both "
+            "--algorithm exact and --confirm (default: 200000)"
+        ),
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "enable observability and print the timed span tree of the "
+            "run (to stderr when combined with --json)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help=(
+            "enable observability and write the metrics snapshot to "
+            "FILE: Prometheus text format if FILE ends in .prom, "
+            "JSON otherwise"
+        ),
     )
     return parser
 
 
-def _report_json(result, simulation, confirmation=None, stats=False) -> str:
+def _report_json(
+    result, simulation, confirmation=None, stats=False, metrics=None
+) -> str:
     from .reporting import analysis_result_to_dict
 
-    payload = analysis_result_to_dict(result, simulation, confirmation)
+    payload = analysis_result_to_dict(
+        result, simulation, confirmation, metrics
+    )
     if stats:
         from .syncgraph.metrics import compute_metrics
 
-        payload["metrics"] = compute_metrics(result.sync_graph).to_dict()
+        # Graph size metrics share the "metrics" key with the obs
+        # snapshot; key sets are disjoint, so merge rather than replace.
+        payload.setdefault("metrics", {}).update(
+            compute_metrics(result.sync_graph).to_dict()
+        )
     return json.dumps(payload, indent=2)
 
 
@@ -101,6 +133,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         source = path.read_text()
 
+    session = (
+        obs.enable() if (args.trace or args.metrics_out) else None
+    )
     try:
         result = analyze(
             source, algorithm=args.algorithm, state_limit=args.state_limit
@@ -122,6 +157,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if session is not None:
+            obs.disable()
 
     if args.dot:
         Path(args.dot).write_text(sync_graph_to_dot(result.sync_graph))
@@ -129,10 +167,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         clg = build_clg(result.sync_graph)
         Path(args.clg_dot).write_text(clg_to_dot(clg))
 
+    snapshot = None
+    if session is not None:
+        from .obs.export import session_to_dict, session_to_prometheus
+
+        snapshot = session_to_dict(session)
+        if args.metrics_out:
+            out = Path(args.metrics_out)
+            if out.suffix.lower() == ".prom":
+                out.write_text(session_to_prometheus(session))
+            else:
+                out.write_text(json.dumps(snapshot, indent=2) + "\n")
+
     if args.json:
-        print(_report_json(result, simulation, confirmation, args.stats))
+        print(
+            _report_json(
+                result, simulation, confirmation, args.stats, snapshot
+            )
+        )
+        if args.trace and session is not None:
+            print(session.tracer.render(), file=sys.stderr)
     else:
         print(result.describe())
+        if args.trace and session is not None:
+            print(session.tracer.render())
         if args.stats:
             from .syncgraph.metrics import compute_metrics
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from .. import obs
 from ..lang.ast_nodes import Program
 from .scheduler import RunResult, run_program
 
@@ -62,31 +63,36 @@ def sample_runs(
 ) -> SimulationSummary:
     """Run ``program`` under ``runs`` different scheduler seeds."""
     summary = SimulationSummary(runs=runs)
-    for i in range(runs):
-        result = run_program(
-            program,
-            seed=seed + i,
-            max_steps=max_steps,
-            max_loop_iters=max_loop_iters,
-        )
-        if result.completed:
-            summary.completed += 1
-            continue
-        summary.stuck += 1
-        if result.is_deadlock:
-            summary.deadlock_runs += 1
-            if summary.example_deadlock is None:
-                summary.example_deadlock = result
-            for task in result.deadlock_tasks:
-                summary.observed_deadlock_tasks[task] = (
-                    summary.observed_deadlock_tasks.get(task, 0) + 1
-                )
-        if result.is_stall:
-            summary.stall_runs += 1
-            if summary.example_stall is None:
-                summary.example_stall = result
-            for task in result.stall_tasks:
-                summary.observed_stall_tasks[task] = (
-                    summary.observed_stall_tasks.get(task, 0) + 1
-                )
+    observing = obs.is_enabled()
+    with obs.span("interp.sample_runs", runs=runs):
+        for i in range(runs):
+            result = run_program(
+                program,
+                seed=seed + i,
+                max_steps=max_steps,
+                max_loop_iters=max_loop_iters,
+            )
+            if observing:
+                obs.counter("interp.runs").inc()
+                obs.counter("interp.scheduler_steps").inc(result.steps)
+            if result.completed:
+                summary.completed += 1
+                continue
+            summary.stuck += 1
+            if result.is_deadlock:
+                summary.deadlock_runs += 1
+                if summary.example_deadlock is None:
+                    summary.example_deadlock = result
+                for task in result.deadlock_tasks:
+                    summary.observed_deadlock_tasks[task] = (
+                        summary.observed_deadlock_tasks.get(task, 0) + 1
+                    )
+            if result.is_stall:
+                summary.stall_runs += 1
+                if summary.example_stall is None:
+                    summary.example_stall = result
+                for task in result.stall_tasks:
+                    summary.observed_stall_tasks[task] = (
+                        summary.observed_stall_tasks.get(task, 0) + 1
+                    )
     return summary

@@ -1,0 +1,129 @@
+"""Observability: span tracing, metrics, and exporters (``repro.obs``).
+
+Disabled by default.  Instrumented code throughout the pipeline calls
+:func:`span` / :func:`counter` / :func:`gauge` / :func:`histogram`;
+when no session is active these return shared null instruments whose
+methods are no-ops, so the disabled path costs one module-global read
+per call site (and the hottest loops — wave exploration, the concrete
+scheduler — accumulate locally and record once per run, so they pay
+nothing per iteration).
+
+Enable for a scope with::
+
+    from repro import obs
+
+    with obs.observed() as session:
+        repro.analyze(source)
+    print(session.tracer.render())
+    print(session.registry.counter_value("refined.scc_passes"))
+
+or imperatively with :func:`enable` / :func:`disable`.  Sessions nest:
+``observed()`` restores whatever was active before.  Export snapshots
+with :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from .metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "ObsSession",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "counter",
+    "current",
+    "disable",
+    "enable",
+    "gauge",
+    "histogram",
+    "is_enabled",
+    "observed",
+    "span",
+]
+
+
+@dataclass
+class ObsSession:
+    """One observed scope: a metrics registry plus a tracer."""
+
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer = field(default_factory=Tracer)
+
+
+_active: Optional[ObsSession] = None
+
+
+def is_enabled() -> bool:
+    return _active is not None
+
+
+def current() -> Optional[ObsSession]:
+    return _active
+
+
+def enable(session: Optional[ObsSession] = None) -> ObsSession:
+    """Activate ``session`` (a fresh one by default) and return it."""
+    global _active
+    _active = session if session is not None else ObsSession()
+    return _active
+
+
+def disable() -> None:
+    global _active
+    _active = None
+
+
+@contextmanager
+def observed(
+    session: Optional[ObsSession] = None,
+) -> Iterator[ObsSession]:
+    """Enable observability for a ``with`` block, then restore."""
+    global _active
+    previous = _active
+    _active = session if session is not None else ObsSession()
+    try:
+        yield _active
+    finally:
+        _active = previous
+
+
+def span(name: str, **attributes: Any):
+    """Open a timed span (no-op context manager when disabled)."""
+    if _active is None:
+        return NULL_SPAN
+    return _active.tracer.span(name, **attributes)
+
+
+def counter(name: str, **labels: str) -> Counter:
+    if _active is None:
+        return NULL_COUNTER
+    return _active.registry.counter(name, **labels)
+
+
+def gauge(name: str, **labels: str) -> Gauge:
+    if _active is None:
+        return NULL_GAUGE
+    return _active.registry.gauge(name, **labels)
+
+
+def histogram(name: str, **labels: str) -> Histogram:
+    if _active is None:
+        return NULL_HISTOGRAM
+    return _active.registry.histogram(name, **labels)

@@ -1,0 +1,154 @@
+"""Metrics primitives: counters, gauges, histograms, and a registry.
+
+Zero-dependency and deliberately small.  A :class:`MetricsRegistry`
+owns every instrument created through it; instruments are keyed by
+``(name, labels)`` so repeated ``registry.counter("x", rule="seq")``
+calls return the same object.  When observability is disabled the
+module-level null instruments absorb writes at the cost of a single
+no-op method call, keeping the instrumented hot paths cheap.
+
+Naming convention (see docs/OBSERVABILITY.md): dotted lowercase names,
+``<layer>.<quantity>`` — e.g. ``refined.scc_passes``,
+``explore.states_visited`` — with label keys for per-rule or per-phase
+breakdowns rather than name suffixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "labels_key",
+]
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+def labels_key(labels: Dict[str, str]) -> LabelsKey:
+    """Canonical hashable form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    labels: LabelsKey = ()
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    name: str
+    labels: LabelsKey = ()
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observed samples (count/sum/min/max).
+
+    Bucketless on purpose: the consumers here diff aggregate shapes
+    across runs rather than plot quantiles, and buckets would force a
+    schema choice on every instrumentation site.
+    """
+
+    name: str
+    labels: LabelsKey = ()
+    count: int = 0
+    sum: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class _NullCounter(Counter):
+    def inc(self, amount: int = 1) -> None:  # noqa: ARG002
+        pass
+
+
+class _NullGauge(Gauge):
+    def set(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+
+class _NullHistogram(Histogram):
+    def observe(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+
+NULL_COUNTER = _NullCounter("null")
+NULL_GAUGE = _NullGauge("null")
+NULL_HISTOGRAM = _NullHistogram("null")
+
+
+@dataclass
+class MetricsRegistry:
+    """Process-local home for every instrument of one observed scope."""
+
+    counters: Dict[Tuple[str, LabelsKey], Counter] = field(default_factory=dict)
+    gauges: Dict[Tuple[str, LabelsKey], Gauge] = field(default_factory=dict)
+    histograms: Dict[Tuple[str, LabelsKey], Histogram] = field(
+        default_factory=dict
+    )
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (name, labels_key(labels))
+        found = self.counters.get(key)
+        if found is None:
+            found = self.counters[key] = Counter(name, key[1])
+        return found
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (name, labels_key(labels))
+        found = self.gauges.get(key)
+        if found is None:
+            found = self.gauges[key] = Gauge(name, key[1])
+        return found
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        key = (name, labels_key(labels))
+        found = self.histograms.get(key)
+        if found is None:
+            found = self.histograms[key] = Histogram(name, key[1])
+        return found
+
+    def iter_instruments(
+        self,
+    ) -> Iterator[Counter | Gauge | Histogram]:
+        yield from self.counters.values()
+        yield from self.gauges.values()
+        yield from self.histograms.values()
+
+    def counter_value(self, name: str, **labels: str) -> int:
+        """Read a counter without creating it (0 when absent)."""
+        found = self.counters.get((name, labels_key(labels)))
+        return found.value if found is not None else 0

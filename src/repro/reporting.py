@@ -27,7 +27,10 @@ __all__ = [
     "analysis_result_to_dict",
 ]
 
-SCHEMA_VERSION = 1
+# 2: added optional top-level "metrics" (repro.obs snapshot: counters,
+#    gauges, histograms, span_seconds, spans); graph metrics from
+#    --stats merge into the same key.
+SCHEMA_VERSION = 2
 
 
 def _evidence_to_dict(evidence: DeadlockEvidence) -> Dict[str, Any]:
@@ -126,14 +129,20 @@ def analysis_result_to_dict(
     result: AnalysisResult,
     simulation: Optional[SimulationSummary] = None,
     confirmation: Optional[ConfirmedReport] = None,
+    metrics: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """The full CLI/CI payload for one analysis run."""
+    """The full CLI/CI payload for one analysis run.
+
+    ``metrics`` is an observability snapshot (see
+    :func:`repro.obs.export.session_to_dict`); the CLI passes one when
+    ``--trace`` or ``--metrics-out`` enabled the obs layer.
+    """
     payload: Dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
         "program": result.program.name,
         "tasks": list(result.program.task_names),
         "procedures": list(result.program.procedure_names),
-        "loops_transformed": result.deadlock.loops_transformed,
+        "loops_transformed": result.loops_transformed,
         "sync_graph": result.sync_graph.stats(),
         "deadlock": deadlock_report_to_dict(result.deadlock),
         "stall": stall_report_to_dict(result.stall),
@@ -143,4 +152,6 @@ def analysis_result_to_dict(
         payload["simulation"] = simulation_to_dict(simulation)
     if confirmation is not None:
         payload["confirmation"] = confirmation_to_dict(confirmation)
+    if metrics is not None:
+        payload["metrics"] = metrics
     return payload

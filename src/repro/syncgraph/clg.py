@@ -28,6 +28,7 @@ from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Set, Tup
 
 import networkx as nx
 
+from .. import obs
 from .model import SyncGraph, SyncNode
 
 __all__ = ["CLGNode", "CLGEdge", "CLG", "build_clg", "EdgeKind"]
@@ -232,6 +233,22 @@ class CLG:
 
 def build_clg(sync_graph: SyncGraph) -> CLG:
     """Construct the CLG of ``sync_graph`` by the six paper rules."""
+    with obs.span("clg.build") as span:
+        clg = _build_clg(sync_graph)
+        span.set_attribute("nodes", clg.node_count)
+        span.set_attribute("edges", clg.edge_count)
+    if obs.is_enabled():
+        obs.counter("clg.builds").inc()
+        obs.counter("clg.split_nodes").inc(
+            len(sync_graph.rendezvous_nodes)
+        )
+        obs.gauge("clg.nodes").set(clg.node_count)
+        obs.gauge("clg.edges").set(clg.edge_count)
+        obs.histogram("clg.nodes_per_build").observe(clg.node_count)
+    return clg
+
+
+def _build_clg(sync_graph: SyncGraph) -> CLG:
     clg = CLG(sync_graph)
     for node in sync_graph.rendezvous_nodes:  # rules 1-2
         clg.add_split_nodes(node)

@@ -18,6 +18,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from .. import obs
 from ..errors import ExplorationLimitError
 from ..syncgraph.model import SyncGraph, SyncNode
 from .anomaly import WaveClassification, classify_wave, is_anomalous
@@ -83,26 +84,51 @@ def explore(
     result = ExplorationResult(graph=graph, visited_count=0)
     visited: Set[Wave] = set()
     queue: deque[Wave] = deque()
-    for wave in initial_waves(graph):
-        if wave not in visited:
-            visited.add(wave)
-            queue.append(wave)
-    while queue:
-        wave = queue.popleft()
-        if wave.is_terminal(graph):
-            result.can_terminate = True
-            continue
-        if is_anomalous(graph, wave):
-            result.anomalous.append(classify_wave(graph, wave))
-            continue
-        for nxt in next_waves(graph, wave):
-            if nxt not in visited:
-                if len(visited) >= state_limit:
-                    raise ExplorationLimitError(state_limit)
-                visited.add(nxt)
-                queue.append(nxt)
-    result.visited_count = len(visited)
+    frontier_peak = 0
+    with obs.span("explore", state_limit=state_limit) as span:
+        for wave in initial_waves(graph):
+            if wave not in visited:
+                visited.add(wave)
+                queue.append(wave)
+        while queue:
+            if len(queue) > frontier_peak:
+                frontier_peak = len(queue)
+            wave = queue.popleft()
+            if wave.is_terminal(graph):
+                result.can_terminate = True
+                continue
+            if is_anomalous(graph, wave):
+                result.anomalous.append(classify_wave(graph, wave))
+                continue
+            for nxt in next_waves(graph, wave):
+                if nxt not in visited:
+                    if len(visited) >= state_limit:
+                        _record_exploration(
+                            span, len(visited), frontier_peak, limited=True
+                        )
+                        raise ExplorationLimitError(state_limit)
+                    visited.add(nxt)
+                    queue.append(nxt)
+        result.visited_count = len(visited)
+        _record_exploration(
+            span, result.visited_count, frontier_peak, limited=False
+        )
     return result
+
+
+def _record_exploration(
+    span, visited: int, frontier_peak: int, limited: bool
+) -> None:
+    """Publish one exploration's stats (no-op when obs is disabled)."""
+    if not obs.is_enabled():
+        return
+    span.set_attribute("states", visited)
+    span.set_attribute("frontier_peak", frontier_peak)
+    obs.counter("explore.states_visited").inc(visited)
+    obs.gauge("explore.frontier_peak").set(frontier_peak)
+    obs.histogram("explore.states_per_run").observe(visited)
+    if limited:
+        obs.counter("explore.state_limit_hits").inc()
 
 
 def exact_deadlock(graph: SyncGraph, state_limit: int = DEFAULT_STATE_LIMIT) -> bool:

@@ -14,6 +14,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from ..errors import ExplorationLimitError
 from ..syncgraph.model import SyncGraph, SyncNode
 from .anomaly import WaveClassification, classify_wave, is_anomalous
@@ -92,36 +93,42 @@ def find_anomaly_witness(
             return classification.has_stall
         return True
 
-    while queue:
-        wave = queue.popleft()
-        if wave.is_terminal(graph):
-            continue
-        if is_anomalous(graph, wave):
-            classification = classify_wave(graph, wave)
-            if not matches(classification):
-                continue
-            schedule: List[Rendezvous] = []
-            chain: List[Wave] = [wave]
-            cursor = wave
-            while True:
-                parent = parents[cursor]
-                if parent is None:
-                    break
-                cursor, event = parent
-                schedule.append(event)
-                chain.append(cursor)
-            schedule.reverse()
-            chain.reverse()
-            return AnomalyWitness(
-                initial=cursor,
-                schedule=tuple(schedule),
-                waves=tuple(chain),
-                classification=classification,
-            )
-        for event, nxt in next_waves_with_events(graph, wave):
-            if nxt not in parents:
-                if len(parents) >= state_limit:
-                    raise ExplorationLimitError(state_limit)
-                parents[nxt] = (wave, event)
-                queue.append(nxt)
-    return None
+    with obs.span("witness.search", kind=kind, state_limit=state_limit) as sp:
+        try:
+            while queue:
+                wave = queue.popleft()
+                if wave.is_terminal(graph):
+                    continue
+                if is_anomalous(graph, wave):
+                    classification = classify_wave(graph, wave)
+                    if not matches(classification):
+                        continue
+                    schedule: List[Rendezvous] = []
+                    chain: List[Wave] = [wave]
+                    cursor = wave
+                    while True:
+                        parent = parents[cursor]
+                        if parent is None:
+                            break
+                        cursor, event = parent
+                        schedule.append(event)
+                        chain.append(cursor)
+                    schedule.reverse()
+                    chain.reverse()
+                    return AnomalyWitness(
+                        initial=cursor,
+                        schedule=tuple(schedule),
+                        waves=tuple(chain),
+                        classification=classification,
+                    )
+                for event, nxt in next_waves_with_events(graph, wave):
+                    if nxt not in parents:
+                        if len(parents) >= state_limit:
+                            obs.counter("witness.state_limit_hits").inc()
+                            raise ExplorationLimitError(state_limit)
+                        parents[nxt] = (wave, event)
+                        queue.append(nxt)
+            return None
+        finally:
+            obs.counter("witness.states_visited").inc(len(parents))
+            sp.set_attribute("states", len(parents))

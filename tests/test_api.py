@@ -42,6 +42,18 @@ class TestAnalyze:
         assert result.deadlock.loops_transformed
         assert result.loops_transformed
 
+    def test_inlining_alone_does_not_report_loops_transformed(self):
+        # procedure inlining swaps the program object without touching
+        # any loop; loops_transformed must stay False
+        result = analyze(
+            "program p; procedure q is begin null; end;"
+            "task a is begin call q; send b.m; end;"
+            "task b is begin accept m; end;"
+        )
+        assert result.analyzed_program is not result.program
+        assert not result.loops_transformed
+        assert not result.deadlock.loops_transformed
+
     def test_validation_included(self):
         result = analyze(
             "program p; task a is begin send b.m; end;"

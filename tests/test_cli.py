@@ -1,6 +1,9 @@
 """Command-line interface tests."""
 
 import json
+import re
+import subprocess
+import sys
 
 import pytest
 
@@ -124,6 +127,38 @@ class TestConfirm:
             == "not-needed-already-certified"
         )
 
+    def test_confirm_respects_state_limit(self, tmp_path, capsys):
+        # the naive false alarm from above, but with a state budget too
+        # small to refute it: confirmation must stop at the budget
+        # instead of exploring the full wave space
+        src = (
+            "program p;\n"
+            "task t1 is begin send t2.s1; accept s2; "
+            "send t2.s1; accept s2; end;\n"
+            "task t2 is begin accept s1; send t1.s2; "
+            "accept s1; send t1.s2; end;\n"
+        )
+        path = tmp_path / "tworound.adl"
+        path.write_text(src)
+        code = main(
+            [
+                str(path),
+                "--algorithm",
+                "naive",
+                "--confirm",
+                "--state-limit",
+                "1",
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert (
+            payload["confirmation"]["outcome"]
+            == "inconclusive-budget-exhausted"
+        )
+        assert payload["confirmation"]["states_budget"] == 1
+        assert code == 1  # verdict stays possible-deadlock
+
 
 class TestStats:
     def test_stats_human(self, handshake_file, capsys):
@@ -135,3 +170,92 @@ class TestStats:
         main([str(handshake_file), "--stats", "--json"])
         payload = json.loads(capsys.readouterr().out)
         assert payload["metrics"]["tasks"] == 2
+
+
+class TestObservability:
+    def test_trace_prints_span_tree(self, handshake_file, capsys):
+        main([str(handshake_file), "--trace"])
+        out = capsys.readouterr().out
+        assert "analyze.parse" in out
+        assert "analyze.deadlock" in out
+        assert "ms" in out
+
+    def test_trace_with_json_keeps_stdout_parseable(
+        self, handshake_file, capsys
+    ):
+        main([str(handshake_file), "--trace", "--json"])
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert "analyze.parse" in captured.err
+        assert payload["metrics"]["span_seconds"]["analyze"] > 0
+
+    def test_metrics_out_json(self, handshake_file, tmp_path, capsys):
+        out_file = tmp_path / "m.json"
+        main([str(handshake_file), "--json", "--metrics-out", str(out_file)])
+        payload = json.loads(capsys.readouterr().out)
+        snapshot = json.loads(out_file.read_text())
+        # per-phase wall times present in both the file and the report
+        for phase in ("analyze.parse", "analyze.sync_graph"):
+            assert snapshot["span_seconds"][phase] >= 0
+        assert payload["metrics"]["counters"] == snapshot["counters"]
+        assert (
+            snapshot["counters"][
+                "refined.pruned_nodes{rule=sequenceable}"
+            ]
+            > 0
+        )
+
+    def test_metrics_out_prometheus(self, handshake_file, tmp_path):
+        out_file = tmp_path / "m.prom"
+        main([str(handshake_file), "--metrics-out", str(out_file)])
+        line_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE.+-]+$"
+        )
+        lines = out_file.read_text().splitlines()
+        assert lines
+        for line in lines:
+            assert line_re.match(line), f"bad exposition line: {line!r}"
+
+    def test_obs_disabled_without_flags(self, handshake_file, capsys):
+        main([str(handshake_file), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert "metrics" not in payload
+
+    def test_stats_and_obs_metrics_share_key(
+        self, handshake_file, tmp_path, capsys
+    ):
+        main(
+            [
+                str(handshake_file),
+                "--json",
+                "--stats",
+                "--metrics-out",
+                str(tmp_path / "m.json"),
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["tasks"] == 2  # graph metrics
+        assert "counters" in payload["metrics"]  # obs snapshot
+
+    def test_cli_smoke_subprocess(self, handshake_file, tmp_path):
+        """End-to-end: the installed entry point with --trace/--metrics-out."""
+        out_file = tmp_path / "smoke.json"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                str(handshake_file),
+                "--trace",
+                "--metrics-out",
+                str(out_file),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "certified-deadlock-free" in proc.stdout
+        assert "analyze.parse" in proc.stdout  # span tree
+        snapshot = json.loads(out_file.read_text())
+        assert snapshot["counters"]["analyze.runs"] == 1

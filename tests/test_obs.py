@@ -1,0 +1,289 @@
+"""Observability layer: tracer, metrics registry, exporters, wiring."""
+
+import json
+import re
+
+import pytest
+
+import repro
+from repro import obs
+from repro.obs.export import (
+    METRICS_SCHEMA_VERSION,
+    session_to_dict,
+    session_to_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+# Exercises all three headline pruning rules at once: fig1's two-round
+# handshake (sequenceable + coaccept marks) plus a fig4c-style branch
+# whose arms are not co-executable.
+PRUNING_SRC = """
+program pruner;
+task t1 is
+begin
+    send t2.sig1;
+    accept sig2;
+    send t2.sig1;
+    accept sig2;
+    if ? then
+        accept m1;
+        send t3.n1;
+    else
+        accept m2;
+        send t4.n2;
+    end if;
+end;
+task t2 is
+begin
+    accept sig1;
+    send t1.sig2;
+    accept sig1;
+    send t1.sig2;
+end;
+task t3 is
+begin
+    accept n1;
+    send t1.m2;
+end;
+task t4 is
+begin
+    accept n2;
+    send t1.m1;
+end;
+"""
+
+
+class TestTracer:
+    def test_span_nesting_follows_dynamic_scope(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner_a"):
+                pass
+            with tracer.span("inner_b", label="x"):
+                pass
+        assert [s.name for s in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+        assert outer.children[1].attributes == {"label": "x"}
+
+    def test_span_timing_recorded_and_contains_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.duration_s is not None and outer.duration_s >= 0
+        assert inner.duration_s is not None
+        assert outer.duration_s >= inner.duration_s
+
+    def test_render_tree_shows_names_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("phase", nodes=3):
+            with tracer.span("child"):
+                pass
+        text = tracer.render()
+        lines = text.splitlines()
+        assert "phase" in lines[0] and "nodes=3" in lines[0]
+        assert "child" in lines[1]
+        assert lines[1].index("child") > lines[0].index("phase")
+
+
+class TestRegistry:
+    def test_counter_identity_and_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", rule="seq")
+        b = reg.counter("x", rule="seq")
+        c = reg.counter("x", rule="other")
+        a.inc()
+        b.inc(2)
+        assert a is b and a is not c
+        assert reg.counter_value("x", rule="seq") == 3
+        assert reg.counter_value("x", rule="other") == 0
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("sizes")
+        for v in (1, 5, 3):
+            h.observe(v)
+        assert (h.count, h.sum, h.min, h.max) == (3, 9, 1, 5)
+        assert h.mean == pytest.approx(3.0)
+
+
+class TestDisabledPath:
+    def test_noop_when_disabled(self):
+        assert not obs.is_enabled()
+        # Writes to null instruments must not leak anywhere, and a
+        # subsequent observed() scope must start from zero.
+        obs.counter("ghost").inc(41)
+        obs.gauge("ghost").set(41)
+        obs.histogram("ghost").observe(41)
+        with obs.span("ghost") as span:
+            span.set_attribute("k", "v")
+        with obs.observed() as session:
+            pass
+        snapshot = session_to_dict(session)
+        assert snapshot["counters"] == {}
+        assert snapshot["spans"] == []
+
+    def test_analyze_records_nothing_when_disabled(self, handshake):
+        before = obs.current()
+        repro.analyze(handshake)
+        assert obs.current() is before is None
+
+    def test_observed_restores_previous_session(self):
+        with obs.observed() as outer:
+            with obs.observed() as inner:
+                assert obs.current() is inner
+            assert obs.current() is outer
+        assert obs.current() is None
+
+
+class TestPipelineInstrumentation:
+    def test_analyze_produces_phase_spans(self, handshake):
+        with obs.observed() as session:
+            repro.analyze(handshake)
+        names = {s.name for s in session.tracer.all_spans()}
+        for expected in (
+            "analyze",
+            "analyze.parse",
+            "analyze.validate",
+            "analyze.inline",
+            "analyze.unroll",
+            "analyze.sync_graph",
+            "analyze.deadlock",
+            "analyze.stall",
+            "refined.precompute",
+            "refined.heads",
+            "clg.build",
+        ):
+            assert expected in names
+        durations = session_to_dict(session)["span_seconds"]
+        assert durations["analyze"] > 0
+
+    def test_refined_pruning_counters_nonzero(self):
+        with obs.observed() as session:
+            repro.analyze(PRUNING_SRC)
+        reg = session.registry
+        for rule in ("sequenceable", "not_coexec", "coaccept"):
+            assert reg.counter_value("refined.pruned_nodes", rule=rule) > 0
+            assert reg.counter_value("refined.pruned_edges", rule=rule) > 0
+        assert reg.counter_value("refined.heads_examined") > 0
+        assert reg.counter_value("refined.scc_passes") > 0
+
+    def test_pruning_totals_mirrored_into_report_stats(self):
+        with obs.observed():
+            result = repro.analyze(PRUNING_SRC)
+        pruning = result.deadlock.stats["pruning"]
+        assert pruning["sequenceable_nodes"] > 0
+        assert pruning["not_coexec_nodes"] > 0
+        assert pruning["coaccept_nodes"] > 0
+
+    def test_explore_counters(self, crossed):
+        with obs.observed() as session:
+            repro.analyze(crossed, algorithm="exact")
+        reg = session.registry
+        assert reg.counter_value("explore.states_visited") > 0
+        assert reg.gauges[("explore.frontier_peak", ())].value >= 1
+        assert reg.counter_value("explore.state_limit_hits") == 0
+
+    def test_explore_state_limit_hit_counted(self, handshake):
+        from repro.errors import ExplorationLimitError
+        from repro.syncgraph.build import build_sync_graph
+        from repro.waves.explore import explore
+
+        graph = build_sync_graph(handshake)
+        with obs.observed() as session:
+            with pytest.raises(ExplorationLimitError):
+                explore(graph, state_limit=1)
+        assert session.registry.counter_value("explore.state_limit_hits") == 1
+
+    def test_witness_search_counters(self, crossed):
+        from repro.syncgraph.build import build_sync_graph
+        from repro.waves.witness import find_anomaly_witness
+
+        graph = build_sync_graph(crossed)
+        with obs.observed() as session:
+            witness = find_anomaly_witness(graph)
+        assert witness is not None
+        reg = session.registry
+        assert reg.counter_value("witness.states_visited") > 0
+        assert reg.counter_value("witness.state_limit_hits") == 0
+        names = {s.name for s in session.tracer.all_spans()}
+        assert "witness.search" in names
+
+    def test_interp_scheduler_steps(self, handshake):
+        from repro.interp.runtime import sample_runs
+
+        with obs.observed() as session:
+            sample_runs(handshake, runs=3)
+        reg = session.registry
+        assert reg.counter_value("interp.runs") == 3
+        assert reg.counter_value("interp.scheduler_steps") >= 3
+
+    def test_extensions_pair_counters(self, crossed):
+        with obs.observed() as session:
+            repro.analyze(crossed, algorithm="head-pairs")
+        reg = session.registry
+        assert (
+            reg.counter_value(
+                "extensions.pairs_enumerated", analysis="head-pairs"
+            )
+            > 0
+        )
+
+
+class TestExporters:
+    def test_json_schema_stability(self):
+        with obs.observed() as session:
+            repro.analyze(PRUNING_SRC)
+        snapshot = session_to_dict(session)
+        assert snapshot["schema_version"] == METRICS_SCHEMA_VERSION
+        assert set(snapshot) == {
+            "schema_version",
+            "counters",
+            "gauges",
+            "histograms",
+            "span_seconds",
+            "spans",
+        }
+        # round-trips through JSON unchanged
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        hist = next(iter(snapshot["histograms"].values()))
+        assert set(hist) == {"count", "sum", "min", "max", "mean"}
+        span = snapshot["spans"][0]
+        assert set(span) == {"name", "duration_s", "attributes", "children"}
+
+    def test_prometheus_lines_parse(self):
+        with obs.observed() as session:
+            repro.analyze(PRUNING_SRC)
+        text = session_to_prometheus(session)
+        line_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+            r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+            r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+            r" [0-9eE.+-]+(\n|$)"
+        )
+        lines = text.splitlines()
+        assert lines
+        for line in lines:
+            assert line_re.match(line), f"bad exposition line: {line!r}"
+        assert any(
+            line.startswith(
+                'repro_refined_pruned_nodes_total{rule="sequenceable"}'
+            )
+            for line in lines
+        )
+        assert any(
+            line.startswith('repro_span_seconds{span="analyze"}')
+            for line in lines
+        )
+
+    def test_counters_accumulate_across_runs(self, handshake):
+        with obs.observed() as session:
+            repro.analyze(handshake)
+            one = session.registry.counter_value("analyze.runs")
+            repro.analyze(handshake)
+            two = session.registry.counter_value("analyze.runs")
+        assert (one, two) == (1, 2)
