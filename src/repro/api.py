@@ -83,8 +83,11 @@ class AnalysisResult:
         lines = [f"program {self.program.name}:"]
         lines.append(self.deadlock.describe())
         lines.append(self.stall.describe())
-        for warning in self.validation.warnings:
-            lines.append(f"  warning: {warning}")
+        for diag in self.validation.diagnostics:
+            where = f" (line {diag.line})" if diag.span is not None else ""
+            lines.append(
+                f"  {diag.severity}: {diag.message}{where} [{diag.rule_id}]"
+            )
         return "\n".join(lines)
 
 

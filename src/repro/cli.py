@@ -10,6 +10,11 @@ Examples::
     repro-analyze program.adl --trace
     repro-analyze program.adl --json --metrics-out metrics.json
     repro-analyze program.adl --metrics-out metrics.prom
+    repro-analyze program.adl --lint
+    repro-analyze program.adl --lint --fail-on warning
+    repro-analyze program.adl --lint --json
+    repro-analyze program.adl --lint --sarif lint.sarif
+    repro-analyze program.adl --lint --disable ADL009,coupling-cycle
 """
 
 from __future__ import annotations
@@ -84,6 +89,43 @@ def build_arg_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--lint",
+        action="store_true",
+        help=(
+            "run the lint rules instead of the analysis pipeline: "
+            "source-located diagnostics, no verdict"
+        ),
+    )
+    parser.add_argument(
+        "--fail-on",
+        default="error",
+        choices=["error", "warning", "note"],
+        help=(
+            "lint severity threshold for a non-zero exit code "
+            "(default: error)"
+        ),
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="with --lint, also write a SARIF 2.1.0 report to FILE",
+    )
+    parser.add_argument(
+        "--disable",
+        metavar="RULES",
+        default="",
+        help=(
+            "with --lint, comma-separated rule ids or names to skip "
+            "(e.g. ADL009,coupling-cycle)"
+        ),
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default="",
+        help="with --lint, run only these comma-separated rules",
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help=(
@@ -122,6 +164,63 @@ def _report_json(
     return json.dumps(payload, indent=2)
 
 
+def _split_rules(spec: str) -> List[str]:
+    return [token.strip() for token in spec.split(",") if token.strip()]
+
+
+def _lint_main(args, source: str) -> int:
+    from .lint import lint_source, lint_to_dict, render_text, sarif_report
+
+    session = obs.enable() if (args.trace or args.metrics_out) else None
+    try:
+        result = lint_source(
+            source,
+            path=args.source if args.source != "-" else "stdin",
+            disable=_split_rules(args.disable),
+            select=_split_rules(args.select) or None,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        # unknown rule name in --disable/--select
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    finally:
+        if session is not None:
+            obs.disable()
+
+    if args.sarif:
+        doc = sarif_report([result])
+        Path(args.sarif).write_text(json.dumps(doc, indent=2) + "\n")
+
+    snapshot = None
+    if session is not None:
+        from .obs.export import session_to_dict, session_to_prometheus
+
+        snapshot = session_to_dict(session)
+        if args.metrics_out:
+            out = Path(args.metrics_out)
+            if out.suffix.lower() == ".prom":
+                out.write_text(session_to_prometheus(session))
+            else:
+                out.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+    if args.json:
+        payload = lint_to_dict(result)
+        if snapshot is not None:
+            payload["metrics"] = snapshot
+        print(json.dumps(payload, indent=2))
+        if args.trace and session is not None:
+            print(session.tracer.render(), file=sys.stderr)
+    else:
+        print(render_text(result))
+        if args.trace and session is not None:
+            print(session.tracer.render())
+
+    return 1 if result.fails(args.fail_on) else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
     if args.source == "-":
@@ -132,6 +231,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: no such file: {path}", file=sys.stderr)
             return 2
         source = path.read_text()
+
+    if args.lint:
+        return _lint_main(args, source)
 
     session = (
         obs.enable() if (args.trace or args.metrics_out) else None

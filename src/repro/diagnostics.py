@@ -1,0 +1,122 @@
+"""Structured, source-located diagnostics.
+
+The shared currency of the front-end: semantic validation
+(:mod:`repro.lang.validate`) and the lint engine (:mod:`repro.lint`)
+both report findings as :class:`Diagnostic` values — a rule id, a
+severity, a message, and (when the program came from source text) a
+:class:`~repro.lang.source.Span`.  Keeping the type here, below both
+packages, avoids an import cycle: ``lang`` must not depend on ``lint``.
+
+Severities follow the SARIF 2.1.0 ``level`` vocabulary (``error`` /
+``warning`` / ``note``), so every backend maps them without
+translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from .lang.source import Span
+
+__all__ = ["Severity", "Related", "Diagnostic"]
+
+
+class Severity:
+    """Diagnostic severities, ordered; SARIF ``level`` names verbatim."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+    _RANK = {ERROR: 3, WARNING: 2, NOTE: 1}
+
+    @classmethod
+    def rank(cls, severity: str) -> int:
+        """Numeric rank for threshold comparisons (higher = worse)."""
+        try:
+            return cls._RANK[severity]
+        except KeyError:
+            raise ValueError(f"unknown severity {severity!r}") from None
+
+    @classmethod
+    def at_least(cls, severity: str, threshold: str) -> bool:
+        return cls.rank(severity) >= cls.rank(threshold)
+
+
+@dataclass(frozen=True)
+class Related:
+    """A secondary location attached to a diagnostic (e.g. the first
+    declaration a duplicate clashes with, or the rendezvous a dead
+    statement is stuck behind)."""
+
+    message: str
+    span: Optional[Span] = None
+    task: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "message": self.message,
+            "span": _span_dict(self.span),
+            "task": self.task,
+        }
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: rule id, severity, message, and source locations.
+
+    ``span`` is ``None`` for programs built programmatically (no source
+    text); every formatter treats that as line/column 0.  ``task`` names
+    the enclosing task or procedure when the finding is scoped to one.
+    """
+
+    rule_id: str
+    severity: str
+    message: str
+    span: Optional[Span] = None
+    task: Optional[str] = None
+    related: Tuple[Related, ...] = ()
+
+    def __post_init__(self) -> None:
+        Severity.rank(self.severity)  # reject unknown severities early
+        object.__setattr__(self, "related", tuple(self.related))
+
+    @property
+    def line(self) -> int:
+        return self.span.line if self.span is not None else 0
+
+    @property
+    def column(self) -> int:
+        return self.span.column if self.span is not None else 0
+
+    def format(self, path: str = "<source>") -> str:
+        """Human-readable one-liner: ``file:line:col: severity: msg [id]``."""
+        return (
+            f"{path}:{self.line}:{self.column}: {self.severity}: "
+            f"{self.message} [{self.rule_id}]"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+            "span": _span_dict(self.span),
+            "task": self.task,
+            "related": [r.to_dict() for r in self.related],
+        }
+
+    def sort_key(self) -> Tuple[int, int, str, str]:
+        return (self.line, self.column, self.rule_id, self.message)
+
+
+def _span_dict(span: Optional[Span]) -> Optional[Dict[str, int]]:
+    if span is None:
+        return None
+    return {
+        "line": span.line,
+        "column": span.column,
+        "end_line": span.end_line,
+        "end_column": span.end_column,
+    }

@@ -18,12 +18,21 @@ report provenance).
 Conditions are opaque: the paper assumes every control-flow path is
 executable, so a condition is just a label (possibly a variable name
 that the stall transforms of Section 5.1 can reason about).
+
+Every statement and declaration carries an optional ``loc``
+:class:`~repro.lang.source.Span` (default ``None``, excluded from
+equality) set by the parser; programmatically built nodes have no
+location and all transforms keep working unchanged.  The lint engine
+(:mod:`repro.lint`) turns these spans into ``file:line:col``
+diagnostics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from typing import Iterator, Optional, Sequence, Tuple, Union
+
+from .source import Span
 
 __all__ = [
     "Condition",
@@ -40,9 +49,15 @@ __all__ = [
     "TaskDecl",
     "Program",
     "Signal",
+    "Span",
     "walk_statements",
     "statement_count",
 ]
+
+
+def _loc_field() -> Optional[Span]:
+    """The shared ``loc`` field spec: optional, ignored by ``==``/hash."""
+    return field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -110,6 +125,7 @@ class Send(Statement):
     task: str
     message: str
     origin: Optional["Send"] = field(default=None, compare=False, repr=False)
+    loc: Optional[Span] = _loc_field()
 
     @property
     def signal(self) -> Signal:
@@ -129,6 +145,7 @@ class Accept(Statement):
     message: str
     binds: Optional[str] = None
     origin: Optional["Accept"] = field(default=None, compare=False, repr=False)
+    loc: Optional[Span] = _loc_field()
 
 
 @dataclass(frozen=True)
@@ -142,6 +159,7 @@ class Assign(Statement):
 
     var: str
     expr: str = "?"
+    loc: Optional[Span] = _loc_field()
 
 
 @dataclass(frozen=True)
@@ -151,6 +169,7 @@ class If(Statement):
     condition: Condition
     then_body: Tuple[Statement, ...]
     else_body: Tuple[Statement, ...] = ()
+    loc: Optional[Span] = _loc_field()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "then_body", tuple(self.then_body))
@@ -168,6 +187,7 @@ class While(Statement):
 
     condition: Condition
     body: Tuple[Statement, ...]
+    loc: Optional[Span] = _loc_field()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "body", tuple(self.body))
@@ -185,6 +205,7 @@ class For(Statement):
     lower: int
     upper: int
     body: Tuple[Statement, ...]
+    loc: Optional[Span] = _loc_field()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "body", tuple(self.body))
@@ -197,6 +218,8 @@ class For(Statement):
 @dataclass(frozen=True)
 class Null(Statement):
     """``null`` — no-op, useful for empty branches."""
+
+    loc: Optional[Span] = _loc_field()
 
 
 @dataclass(frozen=True)
@@ -211,6 +234,7 @@ class Call(Statement):
     """
 
     name: str
+    loc: Optional[Span] = _loc_field()
 
 
 @dataclass(frozen=True)
@@ -225,6 +249,7 @@ class ProcDecl:
 
     name: str
     body: Tuple[Statement, ...]
+    loc: Optional[Span] = _loc_field()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "body", tuple(self.body))
@@ -236,6 +261,7 @@ class TaskDecl:
 
     name: str
     body: Tuple[Statement, ...]
+    loc: Optional[Span] = _loc_field()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "body", tuple(self.body))
@@ -252,6 +278,7 @@ class Program:
     name: str
     tasks: Tuple[TaskDecl, ...]
     procedures: Tuple[ProcDecl, ...] = ()
+    loc: Optional[Span] = _loc_field()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "tasks", tuple(self.tasks))

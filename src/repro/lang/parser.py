@@ -24,6 +24,7 @@ nodes, so the AST only ever has two-way branches.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Tuple
 
 from ..errors import ParseError
@@ -43,6 +44,7 @@ from .ast_nodes import (
     While,
 )
 from .lexer import Token, TokenType, tokenize
+from .source import Span
 
 __all__ = ["parse_program", "parse_task_body"]
 
@@ -88,11 +90,17 @@ class _Parser:
     def _expect_kw(self, kw: str) -> Token:
         return self._expect(TokenType.KEYWORD, kw)
 
+    def _span_from(self, start: Token) -> Span:
+        """Span from ``start`` through the most recently consumed token."""
+        end = self._tokens[self._pos - 1] if self._pos > 0 else start
+        return Span.from_tokens(start, end)
+
     # -- grammar productions --------------------------------------------
 
     def parse_program(self) -> Program:
         self._expect_kw("program")
-        name = self._expect(TokenType.IDENT).value
+        name_tok = self._expect(TokenType.IDENT)
+        name = name_tok.value
         self._expect(TokenType.SEMI)
         tasks: List[TaskDecl] = []
         procedures: List[ProcDecl] = []
@@ -107,28 +115,39 @@ class _Parser:
         if not tasks:
             raise ParseError("program has no tasks")
         return Program(
-            name=name, tasks=tuple(tasks), procedures=tuple(procedures)
+            name=name,
+            tasks=tuple(tasks),
+            procedures=tuple(procedures),
+            loc=Span.of_token(name_tok),
         )
 
     def _parse_task(self) -> TaskDecl:
         self._expect_kw("task")
-        name = self._expect(TokenType.IDENT).value
+        name_tok = self._expect(TokenType.IDENT)
         self._expect_kw("is")
         self._expect_kw("begin")
         body = self._parse_stmts()
         self._expect_kw("end")
         self._expect(TokenType.SEMI)
-        return TaskDecl(name=name, body=tuple(body))
+        return TaskDecl(
+            name=name_tok.value,
+            body=tuple(body),
+            loc=Span.of_token(name_tok),
+        )
 
     def _parse_procedure(self) -> ProcDecl:
         self._expect_kw("procedure")
-        name = self._expect(TokenType.IDENT).value
+        name_tok = self._expect(TokenType.IDENT)
         self._expect_kw("is")
         self._expect_kw("begin")
         body = self._parse_stmts()
         self._expect_kw("end")
         self._expect(TokenType.SEMI)
-        return ProcDecl(name=name, body=tuple(body))
+        return ProcDecl(
+            name=name_tok.value,
+            body=tuple(body),
+            loc=Span.of_token(name_tok),
+        )
 
     def _parse_stmts(self) -> List[Statement]:
         stmts: List[Statement] = []
@@ -160,12 +179,16 @@ class _Parser:
                 raise ParseError(
                     f"unexpected keyword {tok.value!r}", tok.line, tok.column
                 )
-            return handler()
-        if tok.type == TokenType.IDENT:
-            return self._parse_assign()
-        raise ParseError(
-            f"unexpected token {tok.value or tok.type!r}", tok.line, tok.column
-        )
+            stmt = handler()
+        elif tok.type == TokenType.IDENT:
+            stmt = self._parse_assign()
+        else:
+            raise ParseError(
+                f"unexpected token {tok.value or tok.type!r}",
+                tok.line,
+                tok.column,
+            )
+        return replace(stmt, loc=self._span_from(tok))
 
     def _parse_send(self) -> Send:
         self._expect_kw("send")
@@ -227,6 +250,7 @@ class _Parser:
     def _parse_if_tail(self) -> If:
         # An elsif chain shares the single trailing "end if;": the
         # innermost recursive call consumes it on behalf of the chain.
+        start = self._cur
         condition = self._parse_cond()
         self._expect_kw("then")
         then_body = self._parse_stmts()
@@ -235,6 +259,7 @@ class _Parser:
                 condition=condition,
                 then_body=tuple(then_body),
                 else_body=(self._parse_if_tail(),),
+                loc=self._span_from(start),
             )
         else_body: Tuple[Statement, ...] = ()
         if self._accept(TokenType.KEYWORD, "else"):
@@ -243,7 +268,10 @@ class _Parser:
         self._expect_kw("if")
         self._expect(TokenType.SEMI)
         return If(
-            condition=condition, then_body=tuple(then_body), else_body=else_body
+            condition=condition,
+            then_body=tuple(then_body),
+            else_body=else_body,
+            loc=self._span_from(start),
         )
 
     def _parse_while(self) -> While:

@@ -12,17 +12,29 @@ Soft findings (returned, not raised):
 * signals that are sent but never accepted, or accepted but never sent —
   these are legal programs but guaranteed stall candidates, and the
   stall analysis (Section 5) reports them.
+
+Soft findings are reported as structured, source-located
+:class:`~repro.diagnostics.Diagnostic` values carrying the same rule
+ids as the lint engine (ADL001/ADL002); the legacy ``warnings`` string
+list is kept as a deprecated property derived from them.
 """
 
 from __future__ import annotations
 
+import warnings as _warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
+from ..diagnostics import Diagnostic, Severity
 from ..errors import ValidationError
 from .ast_nodes import Accept, Call, Program, Send, Signal, walk_statements
 
-__all__ = ["ValidationReport", "validate_program", "collect_signals"]
+__all__ = [
+    "ValidationReport",
+    "validate_program",
+    "collect_signals",
+    "unmatched_signal_diagnostics",
+]
 
 
 @dataclass
@@ -30,7 +42,9 @@ class ValidationReport:
     """Result of validating a program.
 
     ``unmatched_sends`` / ``unmatched_accepts`` list signals with no
-    complementary rendezvous point anywhere in the program.
+    complementary rendezvous point anywhere in the program;
+    ``diagnostics`` carries one source-located finding per offending
+    rendezvous statement.
     """
 
     program_name: str
@@ -38,11 +52,22 @@ class ValidationReport:
     signals: Tuple[Signal, ...]
     unmatched_sends: Tuple[Signal, ...] = ()
     unmatched_accepts: Tuple[Signal, ...] = ()
-    warnings: List[str] = field(default_factory=list)
+    diagnostics: Tuple[Diagnostic, ...] = ()
 
     @property
     def fully_matched(self) -> bool:
         return not self.unmatched_sends and not self.unmatched_accepts
+
+    @property
+    def warnings(self) -> List[str]:
+        """Deprecated: plain-string findings; use ``diagnostics``."""
+        _warnings.warn(
+            "ValidationReport.warnings is deprecated; use the structured "
+            "ValidationReport.diagnostics instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return [d.message for d in self.diagnostics]
 
 
 def collect_signals(program: Program) -> Dict[Signal, Tuple[int, int]]:
@@ -62,6 +87,54 @@ def collect_signals(program: Program) -> Dict[Signal, Tuple[int, int]]:
                 sig = Signal(task.name, stmt.message)
                 counts.setdefault(sig, [0, 0])[1] += 1
     return {sig: (c[0], c[1]) for sig, c in counts.items()}
+
+
+def unmatched_signal_diagnostics(
+    program: Program,
+) -> Tuple[Diagnostic, ...]:
+    """One ADL001/ADL002 diagnostic per rendezvous point whose signal
+    has no complementary point anywhere in the program (Lemma 3 stall
+    candidates).  Shared by validation and the lint rules so both report
+    identical findings.
+    """
+    counts = collect_signals(program)
+    task_names = {t.name for t in program.tasks}
+    found: List[Diagnostic] = []
+    for task in program.tasks:
+        for stmt in walk_statements(task.body):
+            if isinstance(stmt, Send):
+                if stmt.task not in task_names:
+                    continue  # unknown target: ADL004's finding, not ours
+                sends, accepts = counts[Signal(stmt.task, stmt.message)]
+                if accepts == 0:
+                    found.append(
+                        Diagnostic(
+                            rule_id="ADL001",
+                            severity=Severity.WARNING,
+                            message=(
+                                f"signal {Signal(stmt.task, stmt.message)} "
+                                "is sent but never accepted"
+                            ),
+                            span=stmt.loc,
+                            task=task.name,
+                        )
+                    )
+            elif isinstance(stmt, Accept):
+                sends, accepts = counts[Signal(task.name, stmt.message)]
+                if sends == 0:
+                    found.append(
+                        Diagnostic(
+                            rule_id="ADL002",
+                            severity=Severity.WARNING,
+                            message=(
+                                f"signal {Signal(task.name, stmt.message)} "
+                                "is accepted but never sent"
+                            ),
+                            span=stmt.loc,
+                            task=task.name,
+                        )
+                    )
+    return tuple(sorted(found, key=Diagnostic.sort_key))
 
 
 def validate_program(program: Program) -> ValidationReport:
@@ -120,18 +193,13 @@ def validate_program(program: Program) -> ValidationReport:
     unmatched_accepts = tuple(
         sig for sig, (s, a) in sorted(counts.items(), key=_sig_key) if s == 0
     )
-    warnings = [
-        f"signal {sig} is sent but never accepted" for sig in unmatched_sends
-    ] + [
-        f"signal {sig} is accepted but never sent" for sig in unmatched_accepts
-    ]
     return ValidationReport(
         program_name=program.name,
         task_names=tuple(names),
         signals=tuple(sorted(counts, key=lambda s: (s.task, s.message))),
         unmatched_sends=unmatched_sends,
         unmatched_accepts=unmatched_accepts,
-        warnings=warnings,
+        diagnostics=unmatched_signal_diagnostics(program),
     )
 
 

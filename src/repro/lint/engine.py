@@ -1,0 +1,348 @@
+"""Lint rule registry, execution engine, and suppression handling.
+
+A :class:`LintRule` bundles a stable id (``ADL0xx``), a kebab-case
+name, a default severity, a one-line summary, and the paper grounding
+for the check.  Rules register themselves with the :func:`lint_rule`
+decorator at import time (:mod:`repro.lint.rules`); the engine runs
+every registered rule (minus ``disable``/``select`` filters) over a
+:class:`LintContext` and returns a :class:`LintResult` of
+source-ordered diagnostics.
+
+Expensive shared inputs — the inlined program, the sync graph, the CLG
+— are computed lazily and at most once per run, and degrade to ``None``
+when the program is too broken to build them (e.g. duplicate task
+names), so structural rules still report on programs the analysis
+pipeline would reject outright.
+
+Suppressions are pre-scanned from source comments::
+
+    send t2.orphan;   -- lint: disable=ADL001
+    -- lint: disable=while-rendezvous
+    while busy loop ... end loop;
+
+A trailing comment suppresses matching diagnostics on its own line; a
+comment alone on a line also covers the following line.  Rules can be
+named by id (``ADL001``), by name (``unmatched-send``), or ``all``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .. import obs
+from ..diagnostics import Diagnostic, Related, Severity
+from ..errors import ReproError
+from ..lang.ast_nodes import Program
+from ..lang.validate import (
+    collect_signals,
+    unmatched_signal_diagnostics,
+    validate_program,
+)
+
+__all__ = [
+    "LintRule",
+    "LintContext",
+    "LintResult",
+    "lint_rule",
+    "all_rules",
+    "get_rule",
+    "run_lint",
+    "scan_suppressions",
+]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered check."""
+
+    rule_id: str
+    name: str
+    severity: str
+    summary: str
+    paper_ref: str
+    check: Callable[["LintContext", "LintRule"], Iterable[Diagnostic]]
+
+    def diagnostic(
+        self,
+        message: str,
+        span=None,
+        task: Optional[str] = None,
+        related: Sequence[Related] = (),
+        severity: Optional[str] = None,
+    ) -> Diagnostic:
+        """A diagnostic pre-filled with this rule's id and severity."""
+        return Diagnostic(
+            rule_id=self.rule_id,
+            severity=severity or self.severity,
+            message=message,
+            span=span,
+            task=task,
+            related=tuple(related),
+        )
+
+
+_REGISTRY: Dict[str, LintRule] = {}
+
+
+def lint_rule(
+    rule_id: str,
+    name: str,
+    severity: str,
+    summary: str,
+    paper_ref: str,
+):
+    """Class decorator-style registration for rule check functions."""
+
+    def decorate(fn):
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate lint rule id {rule_id!r}")
+        Severity.rank(severity)
+        _REGISTRY[rule_id] = LintRule(
+            rule_id=rule_id,
+            name=name,
+            severity=severity,
+            summary=summary,
+            paper_ref=paper_ref,
+            check=fn,
+        )
+        return fn
+
+    return decorate
+
+
+def _ensure_rules_loaded() -> None:
+    # Rules live in their own module to keep the engine importable from
+    # rule code; importing it here registers everything on first use.
+    from . import rules  # noqa: F401
+
+
+def all_rules() -> Tuple[LintRule, ...]:
+    """Every registered rule, ordered by rule id."""
+    _ensure_rules_loaded()
+    return tuple(_REGISTRY[k] for k in sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> LintRule:
+    _ensure_rules_loaded()
+    return _REGISTRY[rule_id]
+
+
+class LintContext:
+    """Shared, lazily computed inputs for one lint run."""
+
+    def __init__(
+        self,
+        program: Program,
+        source: Optional[str] = None,
+        path: str = "<source>",
+    ) -> None:
+        self.program = program
+        self.source = source
+        self.path = path
+        self._inlined: Optional[Program] = None
+        self._inline_failed = False
+        self._clg = None
+        self._clg_built = False
+        self._unmatched: Optional[Tuple[Diagnostic, ...]] = None
+        self._counts = None
+
+    @property
+    def effective(self) -> Program:
+        """The inlined program when inlining succeeds, else the raw one.
+
+        Signal-count rules prefer this: an ``accept`` inside a shared
+        procedure only gains its signal identity once inlined into a
+        concrete task.  Leaf statements are shared by the inliner, so
+        their source spans survive.
+        """
+        if self._inlined is None and not self._inline_failed:
+            from ..transforms.inline import inline_procedures
+
+            try:
+                self._inlined, _ = inline_procedures(self.program)
+            except ReproError:
+                self._inline_failed = True
+        return self._inlined if self._inlined is not None else self.program
+
+    @property
+    def signal_counts(self):
+        """``{signal: (sends, accepts)}`` over the effective program."""
+        if self._counts is None:
+            self._counts = collect_signals(self.effective)
+        return self._counts
+
+    @property
+    def unmatched_diagnostics(self) -> Tuple[Diagnostic, ...]:
+        """Shared ADL001/ADL002 findings (also used by validation)."""
+        if self._unmatched is None:
+            self._unmatched = unmatched_signal_diagnostics(self.effective)
+        return self._unmatched
+
+    @property
+    def clg(self):
+        """The cycle location graph of the unrolled program, or ``None``
+        when the program cannot reach the graph pipeline (validation
+        errors, irreducible flow, ...)."""
+        if not self._clg_built:
+            self._clg_built = True
+            from ..syncgraph.build import build_sync_graph
+            from ..syncgraph.clg import build_clg
+            from ..transforms.unroll import remove_loops
+
+            effective = self.effective
+            if self._inline_failed:
+                # the fallback program still contains Call statements,
+                # which have no CFG form
+                self._clg = None
+            else:
+                try:
+                    validate_program(effective)
+                    unrolled, _ = remove_loops(effective)
+                    self._clg = build_clg(build_sync_graph(unrolled))
+                except ReproError:
+                    self._clg = None
+        return self._clg
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run over one program."""
+
+    path: str
+    diagnostics: Tuple[Diagnostic, ...]
+    suppressed: int = 0
+    rules_run: Tuple[str, ...] = ()
+
+    def counts(self) -> Dict[str, int]:
+        out = {Severity.ERROR: 0, Severity.WARNING: 0, Severity.NOTE: 0}
+        for diag in self.diagnostics:
+            out[diag.severity] += 1
+        return out
+
+    @property
+    def rule_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted({d.rule_id for d in self.diagnostics}))
+
+    def fails(self, threshold: str = Severity.ERROR) -> bool:
+        """True when a diagnostic meets the ``--fail-on`` threshold."""
+        return any(
+            Severity.at_least(d.severity, threshold)
+            for d in self.diagnostics
+        )
+
+
+_SUPPRESS_RE = re.compile(
+    r"--\s*lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+
+def scan_suppressions(source: str) -> Dict[int, Set[str]]:
+    """``{line: {rule tokens}}`` from ``-- lint: disable=...`` comments.
+
+    Tokens are lower-cased rule ids, rule names, or ``all``.  A comment
+    with code before it covers its own line; a comment alone on a line
+    covers that line *and* the next.
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), 1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        tokens = {
+            tok.strip().lower()
+            for tok in match.group(1).split(",")
+            if tok.strip()
+        }
+        suppressions.setdefault(lineno, set()).update(tokens)
+        if not line[: match.start()].strip():
+            suppressions.setdefault(lineno + 1, set()).update(tokens)
+    return suppressions
+
+
+def _rule_tokens(rule: LintRule) -> Set[str]:
+    return {rule.rule_id.lower(), rule.name.lower(), "all"}
+
+
+def _select_rules(
+    disable: Sequence[str], select: Optional[Sequence[str]]
+) -> Tuple[LintRule, ...]:
+    disabled = {tok.lower() for tok in disable}
+    selected = (
+        None if select is None else {tok.lower() for tok in select}
+    )
+    known = set()
+    chosen = []
+    for rule in all_rules():
+        tokens = {rule.rule_id.lower(), rule.name.lower()}
+        known |= tokens
+        if tokens & disabled:
+            continue
+        if selected is not None and not (tokens & selected):
+            continue
+        chosen.append(rule)
+    unknown = (disabled | (selected or set())) - known
+    if unknown:
+        raise KeyError(
+            f"unknown lint rule(s): {', '.join(sorted(unknown))}"
+        )
+    return tuple(chosen)
+
+
+def run_lint(
+    program: Program,
+    source: Optional[str] = None,
+    path: str = "<source>",
+    disable: Sequence[str] = (),
+    select: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Run every (selected) registered rule over ``program``.
+
+    ``source`` enables comment suppressions and is otherwise optional —
+    rules work from the AST and its attached spans.  The program is
+    never mutated (statements are frozen dataclasses and rules only
+    read).  Per-rule emission/suppression counters are recorded in
+    :mod:`repro.obs` when a session is active.
+    """
+    rules = _select_rules(disable, select)
+    suppressions = (
+        scan_suppressions(source) if source is not None else {}
+    )
+    ctx = LintContext(program, source=source, path=path)
+    found: List[Diagnostic] = []
+    suppressed_count = 0
+    with obs.span("lint.run", path=path, rules=len(rules)):
+        for rule in rules:
+            for diag in rule.check(ctx, rule):
+                tokens = suppressions.get(diag.line)
+                if tokens and tokens & _rule_tokens(rule):
+                    suppressed_count += 1
+                    if obs.is_enabled():
+                        obs.counter(
+                            "lint.suppressed", rule=rule.rule_id
+                        ).inc()
+                    continue
+                found.append(diag)
+                if obs.is_enabled():
+                    obs.counter(
+                        "lint.diagnostics", rule=rule.rule_id
+                    ).inc()
+    if obs.is_enabled():
+        obs.counter("lint.runs").inc()
+        obs.gauge("lint.last_run_diagnostics").set(len(found))
+    return LintResult(
+        path=path,
+        diagnostics=tuple(sorted(found, key=Diagnostic.sort_key)),
+        suppressed=suppressed_count,
+        rules_run=tuple(r.rule_id for r in rules),
+    )

@@ -1,0 +1,235 @@
+"""Lint output backends: human-readable text, JSON, and SARIF 2.1.0.
+
+The SARIF backend emits one ``run`` with the full rule catalog in
+``tool.driver.rules`` (ids, names, summaries, default levels, paper
+references in ``help.text``) and one ``result`` per diagnostic with a
+``physicalLocation`` region, so the output loads in any SARIF viewer
+(GitHub code scanning, VS Code SARIF viewer, ...).
+:func:`validate_sarif_shape` checks the structural contract and is used
+by the CI self-check and the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..diagnostics import Severity
+from ..lang.source import Span
+from .engine import LintResult, all_rules
+
+__all__ = [
+    "LINT_SCHEMA_VERSION",
+    "SARIF_VERSION",
+    "render_text",
+    "lint_to_dict",
+    "sarif_report",
+    "validate_sarif_shape",
+]
+
+# 1: initial lint JSON payload (path, diagnostics, summary, rules_run).
+LINT_SCHEMA_VERSION = 1
+
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+
+
+def render_text(result: LintResult, verbose_related: bool = True) -> str:
+    """GCC-style ``file:line:col: severity: message [id]`` lines."""
+    lines: List[str] = []
+    for diag in result.diagnostics:
+        lines.append(diag.format(result.path))
+        if verbose_related:
+            for rel in diag.related:
+                span = rel.span
+                where = (
+                    f"{result.path}:{span.line}:{span.column}"
+                    if span is not None
+                    else result.path
+                )
+                lines.append(f"    {where}: note: {rel.message}")
+    counts = result.counts()
+    summary = (
+        f"{counts[Severity.ERROR]} error(s), "
+        f"{counts[Severity.WARNING]} warning(s), "
+        f"{counts[Severity.NOTE]} note(s)"
+    )
+    if result.suppressed:
+        summary += f", {result.suppressed} suppressed"
+    lines.append(f"{result.path}: {summary}")
+    return "\n".join(lines)
+
+
+def lint_to_dict(result: LintResult) -> Dict[str, Any]:
+    """Machine-readable payload for one lint run (CLI ``--lint --json``)."""
+    counts = result.counts()
+    return {
+        "lint_schema_version": LINT_SCHEMA_VERSION,
+        "path": result.path,
+        "diagnostics": [d.to_dict() for d in result.diagnostics],
+        "summary": {
+            "errors": counts[Severity.ERROR],
+            "warnings": counts[Severity.WARNING],
+            "notes": counts[Severity.NOTE],
+            "suppressed": result.suppressed,
+        },
+        "rules_run": list(result.rules_run),
+    }
+
+
+def _region(span: Optional[Span]) -> Dict[str, int]:
+    if span is None:
+        # SARIF regions require 1-based coordinates; span-less
+        # diagnostics anchor to the start of the artifact.
+        return {"startLine": 1, "startColumn": 1}
+    return {
+        "startLine": span.line,
+        "startColumn": span.column,
+        "endLine": span.end_line,
+        "endColumn": span.end_column,
+    }
+
+
+def _location(path: str, span: Optional[Span]) -> Dict[str, Any]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": _artifact_uri(path)},
+            "region": _region(span),
+        }
+    }
+
+
+def _artifact_uri(path: str) -> str:
+    # "<source>" / "-" are in-memory inputs with no file to point at.
+    if path in ("<source>", "-", ""):
+        return "stdin"
+    return path.replace("\\", "/")
+
+
+def sarif_report(results: Sequence[LintResult]) -> Dict[str, Any]:
+    """One SARIF 2.1.0 document covering one or more lint runs."""
+    from .. import __version__
+
+    rules = all_rules()
+    rule_index = {rule.rule_id: i for i, rule in enumerate(rules)}
+    sarif_results: List[Dict[str, Any]] = []
+    for result in results:
+        for diag in result.diagnostics:
+            entry: Dict[str, Any] = {
+                "ruleId": diag.rule_id,
+                "ruleIndex": rule_index[diag.rule_id],
+                "level": diag.severity,
+                "message": {"text": diag.message},
+                "locations": [_location(result.path, diag.span)],
+            }
+            if diag.related:
+                entry["relatedLocations"] = [
+                    {
+                        **_location(result.path, rel.span),
+                        "message": {"text": rel.message},
+                    }
+                    for rel in diag.related
+                ]
+            sarif_results.append(entry)
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "version": __version__,
+                        "informationUri": (
+                            "https://example.invalid/repro-analyze"
+                        ),
+                        "rules": [
+                            {
+                                "id": rule.rule_id,
+                                "name": rule.name,
+                                "shortDescription": {"text": rule.summary},
+                                "help": {"text": rule.paper_ref},
+                                "defaultConfiguration": {
+                                    "level": rule.severity
+                                },
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "results": sarif_results,
+            }
+        ],
+    }
+
+
+def validate_sarif_shape(doc: Dict[str, Any]) -> List[str]:
+    """Structural check of a SARIF document; returns problems (empty =
+    OK).  Not a full JSON-Schema validation — the container has no
+    network access to fetch the schema — but covers everything SARIF
+    consumers require: version, run/tool/driver shape, rule catalog
+    integrity, and per-result ruleId/level/message/location regions."""
+    problems: List[str] = []
+
+    def need(cond: bool, msg: str) -> None:
+        if not cond:
+            problems.append(msg)
+
+    need(doc.get("version") == SARIF_VERSION, "version must be 2.1.0")
+    need(isinstance(doc.get("$schema"), str), "$schema missing")
+    runs = doc.get("runs")
+    need(isinstance(runs, list) and len(runs) >= 1, "runs must be non-empty")
+    if not runs:
+        return problems
+    for run in runs:
+        driver = run.get("tool", {}).get("driver", {})
+        need(bool(driver.get("name")), "tool.driver.name missing")
+        rules = driver.get("rules", [])
+        need(isinstance(rules, list) and rules, "driver.rules missing")
+        ids = [r.get("id") for r in rules]
+        need(len(ids) == len(set(ids)), "duplicate rule ids in catalog")
+        for rule in rules:
+            need(
+                isinstance(rule.get("shortDescription", {}).get("text"), str),
+                f"rule {rule.get('id')} lacks shortDescription.text",
+            )
+        for res in run.get("results", []):
+            need(res.get("ruleId") in ids, "result.ruleId not in catalog")
+            idx = res.get("ruleIndex")
+            need(
+                isinstance(idx, int)
+                and 0 <= idx < len(ids)
+                and ids[idx] == res.get("ruleId"),
+                "result.ruleIndex does not match its ruleId",
+            )
+            need(
+                res.get("level") in ("error", "warning", "note"),
+                f"bad result.level {res.get('level')!r}",
+            )
+            need(
+                isinstance(res.get("message", {}).get("text"), str),
+                "result.message.text missing",
+            )
+            locations = res.get("locations")
+            need(
+                isinstance(locations, list) and len(locations) >= 1,
+                "result.locations missing",
+            )
+            for loc in locations or []:
+                phys = loc.get("physicalLocation", {})
+                uri = phys.get("artifactLocation", {}).get("uri")
+                need(isinstance(uri, str) and bool(uri), "location uri missing")
+                region = phys.get("region", {})
+                need(
+                    isinstance(region.get("startLine"), int)
+                    and region["startLine"] >= 1,
+                    "region.startLine must be a positive int",
+                )
+                need(
+                    isinstance(region.get("startColumn"), int)
+                    and region["startColumn"] >= 1,
+                    "region.startColumn must be a positive int",
+                )
+    return problems

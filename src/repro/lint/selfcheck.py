@@ -1,0 +1,80 @@
+"""Corpus self-check: lint every bundled ADL program, validate SARIF.
+
+Run with ``python -m repro.lint.selfcheck``.  Exit status 0 means:
+
+* every program in the analysis corpus and the lint showcase corpus
+  lints without crashing;
+* each showcase program triggers exactly the rule ids its manifest
+  expects (no more, no less);
+* at least eight distinct rule ids fire across the whole corpus;
+* the combined SARIF 2.1.0 report passes the structural validator.
+
+This doubles as the CI smoke job: it exercises lexer spans, the rule
+registry, suppressions, and the SARIF backend end to end without any
+test-framework dependency.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List
+
+from ..workloads.adl_corpus import adl_corpus, lint_corpus
+from .engine import LintResult, run_lint
+from .output import sarif_report, validate_sarif_shape
+
+MIN_DISTINCT_RULES = 8
+
+
+def main() -> int:
+    problems: List[str] = []
+    results: List[LintResult] = []
+    fired = set()
+
+    for entry in adl_corpus().values():
+        result = run_lint(
+            entry.program, source=entry.source, path=f"{entry.name}.adl"
+        )
+        results.append(result)
+        fired.update(result.rule_ids)
+
+    for entry in lint_corpus().values():
+        result = run_lint(
+            entry.program, source=entry.source, path=f"{entry.name}.adl"
+        )
+        results.append(result)
+        fired.update(result.rule_ids)
+        expected = set(entry.expect_rules)
+        got = set(result.rule_ids)
+        if got != expected:
+            problems.append(
+                f"{entry.name}: expected rules {sorted(expected)}, "
+                f"got {sorted(got)}"
+            )
+
+    if len(fired) < MIN_DISTINCT_RULES:
+        problems.append(
+            f"only {len(fired)} distinct rule ids fired across the corpus "
+            f"({sorted(fired)}); need >= {MIN_DISTINCT_RULES}"
+        )
+
+    doc = sarif_report(results)
+    problems.extend(validate_sarif_shape(doc))
+
+    total = sum(len(r.diagnostics) for r in results)
+    suppressed = sum(r.suppressed for r in results)
+    print(
+        f"linted {len(results)} programs: {total} diagnostic(s), "
+        f"{suppressed} suppressed, {len(fired)} distinct rule(s): "
+        f"{', '.join(sorted(fired))}"
+    )
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("selfcheck OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

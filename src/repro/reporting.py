@@ -30,7 +30,11 @@ __all__ = [
 # 2: added optional top-level "metrics" (repro.obs snapshot: counters,
 #    gauges, histograms, span_seconds, spans); graph metrics from
 #    --stats merge into the same key.
-SCHEMA_VERSION = 2
+# 3: validation findings became structured diagnostics — "validation"
+#    gained a "diagnostics" list (rule id, severity, span, task,
+#    related); the "warnings" string list is kept, derived from them.
+#    Lint mode has its own payload (see repro.lint.output.lint_to_dict).
+SCHEMA_VERSION = 3
 
 
 def _evidence_to_dict(evidence: DeadlockEvidence) -> Dict[str, Any]:
@@ -76,7 +80,10 @@ def validation_to_dict(report: ValidationReport) -> Dict[str, Any]:
         "fully_matched": report.fully_matched,
         "unmatched_sends": [str(s) for s in report.unmatched_sends],
         "unmatched_accepts": [str(s) for s in report.unmatched_accepts],
-        "warnings": list(report.warnings),
+        # derived directly from diagnostics to keep the legacy key
+        # without tripping the ValidationReport.warnings deprecation
+        "warnings": [d.message for d in report.diagnostics],
+        "diagnostics": [d.to_dict() for d in report.diagnostics],
     }
 
 

@@ -1,6 +1,13 @@
 """Benchmark and test workloads: paper figures, patterns, random programs."""
 
-from .adl_corpus import AdlEntry, adl_corpus, load_adl
+from .adl_corpus import (
+    AdlEntry,
+    LintEntry,
+    adl_corpus,
+    lint_corpus,
+    load_adl,
+    load_lint_adl,
+)
 from .corpus import CorpusEntry, paper_corpus
 from .patterns import (
     barrier,
@@ -23,6 +30,7 @@ from .random_programs import (
 __all__ = [
     "AdlEntry",
     "CorpusEntry",
+    "LintEntry",
     "RandomProgramConfig",
     "adl_corpus",
     "barrier",
@@ -32,7 +40,9 @@ __all__ = [
     "gossip_ring",
     "handshake_chain",
     "inject_deadlock",
+    "lint_corpus",
     "load_adl",
+    "load_lint_adl",
     "master_workers",
     "paper_corpus",
     "pipeline",

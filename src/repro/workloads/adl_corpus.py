@@ -21,7 +21,14 @@ from typing import Dict, Tuple
 from ..lang.ast_nodes import Program
 from ..lang.parser import parse_program
 
-__all__ = ["AdlEntry", "adl_corpus", "load_adl"]
+__all__ = [
+    "AdlEntry",
+    "LintEntry",
+    "adl_corpus",
+    "lint_corpus",
+    "load_adl",
+    "load_lint_adl",
+]
 
 
 @dataclass(frozen=True)
@@ -99,6 +106,68 @@ def adl_corpus() -> Dict[str, AdlEntry]:
             program=parse_program(source),
             expect_deadlock=deadlock,
             expect_stall=stall,
+            description=description,
+        )
+    return corpus
+
+
+@dataclass(frozen=True)
+class LintEntry:
+    """One lint-showcase program with the rule ids it must trigger."""
+
+    name: str
+    source: str
+    program: Program
+    expect_rules: Tuple[str, ...]
+    description: str
+
+
+# name -> (expected rule ids, description).  Unlike the main corpus,
+# several of these programs are deliberately broken (duplicate tasks,
+# unknown targets) and would be rejected by validate_program; the lint
+# engine must still produce located diagnostics for them.
+_LINT_MANIFEST: Dict[str, Tuple[Tuple[str, ...], str]] = {
+    "stall_candidates": (
+        ("ADL001", "ADL002", "ADL008", "ADL011"),
+        "Lemma-3 count imbalances, a zero-trip for loop, and the dead "
+        "code behind a guaranteed stall",
+    ),
+    "structure_smells": (
+        ("ADL001", "ADL003", "ADL004", "ADL005", "ADL006", "ADL007", "ADL011"),
+        "self-rendezvous, unknown targets, a duplicate task, mutually "
+        "recursive procedures, and a dead helper; the self-rendezvous "
+        "also counts as an unaccepted send that strands the next line",
+    ),
+    "coupled_protocol": (
+        ("ADL010",),
+        "crossed request/ack protocol forming a constraint-1 coupling "
+        "cycle",
+    ),
+    "loop_precision": (
+        ("ADL009", "ADL010"),
+        "rendezvous under unbounded while loops (Lemma-1 precision "
+        "loss), one occurrence suppressed in-source; the crossed "
+        "send-then-accept bodies also form a coupling cycle",
+    ),
+}
+
+
+def load_lint_adl(name: str) -> str:
+    """Raw source text of one lint-showcase program."""
+    package = resources.files(__package__) / "adl_lint" / f"{name}.adl"
+    return package.read_text()
+
+
+def lint_corpus() -> Dict[str, LintEntry]:
+    """Parse and return the lint showcase corpus, keyed by name."""
+    corpus: Dict[str, LintEntry] = {}
+    for name, (rules, description) in _LINT_MANIFEST.items():
+        source = load_lint_adl(name)
+        corpus[name] = LintEntry(
+            name=name,
+            source=source,
+            program=parse_program(source),
+            expect_rules=rules,
             description=description,
         )
     return corpus

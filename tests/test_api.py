@@ -59,7 +59,8 @@ class TestAnalyze:
             "program p; task a is begin send b.m; end;"
             "task b is begin null; end;"
         )
-        assert result.validation.warnings
+        assert result.validation.diagnostics
+        assert result.validation.diagnostics[0].rule_id == "ADL001"
         assert result.stall.verdict == StallVerdict.POSSIBLE_STALL
 
     def test_describe_mentions_verdicts(self, handshake):

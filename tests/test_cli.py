@@ -259,3 +259,120 @@ class TestObservability:
         assert "analyze.parse" in proc.stdout  # span tree
         snapshot = json.loads(out_file.read_text())
         assert snapshot["counters"]["analyze.runs"] == 1
+
+
+STALLY_SRC = """\
+program stally;
+task t1 is
+begin
+    send t2.orphan;
+    null;
+end;
+task t2 is
+begin
+    null;
+end;
+"""
+
+
+@pytest.fixture
+def stally_file(tmp_path):
+    path = tmp_path / "stally.adl"
+    path.write_text(STALLY_SRC)
+    return path
+
+
+class TestLintMode:
+    def test_text_output_and_default_threshold(self, stally_file, capsys):
+        # warnings only, default --fail-on error -> exit 0
+        assert main([str(stally_file), "--lint"]) == 0
+        out = capsys.readouterr().out
+        assert f"{stally_file}:4:5: warning:" in out
+        assert "[ADL001]" in out
+        assert "0 error(s)" in out
+
+    def test_fail_on_warning(self, stally_file):
+        assert main([str(stally_file), "--lint", "--fail-on", "warning"]) == 1
+
+    def test_clean_program_passes_any_threshold(self, handshake_file):
+        assert (
+            main([str(handshake_file), "--lint", "--fail-on", "note"]) == 0
+        )
+
+    def test_json_output(self, stally_file, capsys):
+        main([str(stally_file), "--lint", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["lint_schema_version"] == 1
+        rules = {d["rule"] for d in payload["diagnostics"]}
+        assert {"ADL001", "ADL011"} <= rules
+        for diag in payload["diagnostics"]:
+            assert diag["span"]["line"] >= 1
+            assert diag["span"]["column"] >= 1
+
+    def test_sarif_file_emission(self, stally_file, tmp_path):
+        from repro.lint import validate_sarif_shape
+
+        out = tmp_path / "lint.sarif"
+        main([str(stally_file), "--lint", "--sarif", str(out)])
+        doc = json.loads(out.read_text())
+        assert doc["version"] == "2.1.0"
+        assert validate_sarif_shape(doc) == []
+        assert doc["runs"][0]["results"]
+
+    def test_disable_and_select(self, stally_file, capsys):
+        main([str(stally_file), "--lint", "--disable", "ADL001,ADL011"])
+        assert "[ADL" not in capsys.readouterr().out
+        main([str(stally_file), "--lint", "--select", "unmatched-send"])
+        out = capsys.readouterr().out
+        assert "[ADL001]" in out and "[ADL011]" not in out
+
+    def test_unknown_rule_exits_two(self, stally_file, capsys):
+        assert main([str(stally_file), "--lint", "--disable", "NOPE"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_parse_error_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.adl"
+        bad.write_text("program ;")
+        assert main([str(bad), "--lint"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_lint_metrics_out(self, stally_file, tmp_path):
+        out = tmp_path / "lint-metrics.json"
+        main([str(stally_file), "--lint", "--metrics-out", str(out)])
+        snapshot = json.loads(out.read_text())
+        assert snapshot["counters"]["lint.runs"] == 1
+        assert "lint.diagnostics{rule=ADL001}" in snapshot["counters"]
+
+    def test_analysis_output_unchanged_without_lint(
+        self, handshake_file, capsys
+    ):
+        # the lint flags must not perturb the analysis path
+        main([str(handshake_file)])
+        baseline = capsys.readouterr().out
+        main([str(handshake_file), "--fail-on", "note"])
+        assert capsys.readouterr().out == baseline
+
+    def test_lint_smoke_subprocess(self, stally_file, tmp_path):
+        """End-to-end: --lint --fail-on warning --sarif via the real entry."""
+        sarif_out = tmp_path / "smoke.sarif"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                str(stally_file),
+                "--lint",
+                "--fail-on",
+                "warning",
+                "--sarif",
+                str(sarif_out),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 1, proc.stderr
+        assert "[ADL001]" in proc.stdout
+        doc = json.loads(sarif_out.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-analyze"

@@ -69,7 +69,11 @@ class TestSoftFindings:
         report = validate_program(p)
         assert Signal("b", "m") in report.unmatched_sends
         assert not report.fully_matched
-        assert any("never accepted" in w for w in report.warnings)
+        (diag,) = report.diagnostics
+        assert diag.rule_id == "ADL001"
+        assert "never accepted" in diag.message
+        assert diag.span is not None and diag.span.line == 1
+        assert diag.task == "a"
 
     def test_unmatched_accept_reported(self):
         p = parse_program(
@@ -82,5 +86,14 @@ class TestSoftFindings:
     def test_clean_program_fully_matched(self, handshake):
         report = validate_program(handshake)
         assert report.fully_matched
-        assert report.warnings == []
+        assert report.diagnostics == ()
         assert report.task_names == ("t1", "t2")
+
+    def test_warnings_property_deprecated_but_equivalent(self):
+        p = parse_program(
+            "program p; task a is begin send b.m; end; task b is begin end;"
+        )
+        report = validate_program(p)
+        with pytest.warns(DeprecationWarning):
+            legacy = report.warnings
+        assert legacy == [d.message for d in report.diagnostics]
