@@ -12,7 +12,9 @@ Run with::
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Sequence
+import json
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
 
 
 def print_table(
@@ -63,6 +65,18 @@ def attach_metrics(benchmark, fn: Callable[[], object]) -> dict:
         "gauges": snapshot["gauges"],
     }
     return snapshot
+
+
+def write_bench_json(filename: str, payload: dict) -> Path:
+    """Write a benchmark's headline numbers next to the repo root.
+
+    ``BENCH_*.json`` files are the diffable artifacts of a benchmark
+    run (EXPERIMENTS.md): stable keys, machine-readable, committed or
+    archived by CI as needed.  Returns the path written.
+    """
+    path = Path(__file__).resolve().parent.parent / filename
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def print_pruning_summary(title: str, snapshot: dict) -> None:

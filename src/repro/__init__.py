@@ -25,6 +25,7 @@ from .api import (
     ALGORITHMS,
     AnalysisResult,
     analyze,
+    analyze_many,
     certify_deadlock_free,
     certify_stall_free,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "ValidationError",
     "__version__",
     "analyze",
+    "analyze_many",
     "certify_deadlock_free",
     "certify_stall_free",
     "parse_program",

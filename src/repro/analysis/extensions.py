@@ -40,6 +40,7 @@ __all__ = [
     "head_tail_analysis",
     "combined_pairs_analysis",
     "k_pairs_analysis",
+    "k_pairs_3_analysis",
 ]
 
 
@@ -495,3 +496,13 @@ def k_pairs_analysis(
         heads_examined=examined,
         stats={"k": k, "k_tuples_examined": examined},
     )
+
+
+def k_pairs_3_analysis(graph: SyncGraph) -> DeadlockReport:
+    """:func:`k_pairs_analysis` fixed at ``k = 3``.
+
+    A named, picklable registry entry for ``repro.api.ALGORITHMS`` — a
+    lambda there would make the registry unpicklable and leak into any
+    state that captures an algorithm callable (farm workers, caches).
+    """
+    return k_pairs_analysis(graph, k=3)

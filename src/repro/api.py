@@ -21,7 +21,8 @@ the requested deadlock algorithm plus the stall pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Union
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Optional, Tuple, Union
 
 from . import obs
 from .analysis.constraint4 import constraint4_deadlock_analysis
@@ -29,7 +30,7 @@ from .analysis.extensions import (
     combined_pairs_analysis,
     head_pairs_analysis,
     head_tail_analysis,
-    k_pairs_analysis,
+    k_pairs_3_analysis,
 )
 from .analysis.naive import naive_deadlock_analysis
 from .analysis.refined import refined_deadlock_analysis
@@ -45,14 +46,21 @@ from .transforms.inline import inline_procedures
 from .transforms.unroll import remove_loops
 from .waves.explore import explore
 
+if TYPE_CHECKING:  # pragma: no cover - farm imports api at runtime
+    from .farm.cache import ResultCache
+    from .farm.runner import BatchReport
+
 __all__ = [
     "ALGORITHMS",
     "AnalysisResult",
     "analyze",
+    "analyze_many",
     "certify_deadlock_free",
     "certify_stall_free",
 ]
 
+# Every value is a named module-level callable so the registry (and
+# anything that captures an entry) stays picklable for farm workers.
 ALGORITHMS: Dict[str, Callable[[SyncGraph], DeadlockReport]] = {
     "naive": naive_deadlock_analysis,
     "refined": refined_deadlock_analysis,
@@ -60,7 +68,7 @@ ALGORITHMS: Dict[str, Callable[[SyncGraph], DeadlockReport]] = {
     "head-pairs": head_pairs_analysis,
     "head-tail": head_tail_analysis,
     "combined-pairs": combined_pairs_analysis,
-    "k-pairs-3": lambda graph: k_pairs_analysis(graph, k=3),
+    "k-pairs-3": k_pairs_3_analysis,
 }
 
 
@@ -170,6 +178,44 @@ def analyze(
         deadlock=deadlock,
         stall=stall,
         loops_transformed=transformed,
+    )
+
+
+def analyze_many(
+    programs: Iterable[Union[str, Program, Tuple[str, str]]],
+    algorithm: str = "refined",
+    exact: bool = False,
+    state_limit: int = 200_000,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    cache: Union["ResultCache", str, Path, bool, None] = None,
+) -> "BatchReport":
+    """Analyze many programs through the batch farm.
+
+    The library-level entry to :mod:`repro.farm`: parallel workers
+    (``jobs``), per-item timeouts (pool mode only), and content-
+    addressed result caching — ``cache`` accepts a
+    :class:`~repro.farm.cache.ResultCache`, a directory, ``True`` for
+    the default directory (``~/.cache/repro``), or ``None`` to disable.
+
+    ``programs`` may mix source strings, parsed
+    :class:`~repro.lang.ast_nodes.Program` objects, and ``(label,
+    source)`` pairs.  Returns a
+    :class:`~repro.farm.runner.BatchReport`; ``report.results`` is the
+    per-program :class:`AnalysisResult` list in input order (``None``
+    where an item failed), and verdicts match per-program
+    :func:`analyze` calls exactly.
+    """
+    from .farm.runner import run_batch
+
+    return run_batch(
+        programs,
+        algorithm=algorithm,
+        exact=exact,
+        state_limit=state_limit,
+        jobs=jobs,
+        timeout=timeout,
+        cache=cache,
     )
 
 

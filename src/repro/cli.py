@@ -15,12 +15,16 @@ Examples::
     repro-analyze program.adl --lint --json
     repro-analyze program.adl --lint --sarif lint.sarif
     repro-analyze program.adl --lint --disable ADL009,coupling-cycle
+    repro-analyze --batch corpus/ --jobs 8
+    repro-analyze --batch corpus/ 'extra/*.adl' --jsonl-out report.jsonl
+    repro-analyze --batch corpus/ --no-cache --timeout 30
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -44,7 +48,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
             "rendezvous programs (Masticola & Ryder, ICPP 1990)."
         ),
     )
-    parser.add_argument("source", help="path to an ADL source file, or '-' for stdin")
+    parser.add_argument(
+        "sources",
+        nargs="+",
+        metavar="source",
+        help=(
+            "path to an ADL source file, or '-' for stdin; with "
+            "--batch, any mix of files, directories (searched "
+            "recursively for *.adl), and glob patterns"
+        ),
+    )
     parser.add_argument(
         "--algorithm",
         default="refined",
@@ -126,6 +139,55 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="with --lint, run only these comma-separated rules",
     )
     parser.add_argument(
+        "--batch",
+        action="store_true",
+        help=(
+            "batch mode: analyze every matched source through the "
+            "parallel farm with content-addressed result caching"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=os.cpu_count() or 1,
+        metavar="N",
+        help=(
+            "with --batch, worker processes to run (default: CPU "
+            "count; 1 = serial in-process fallback)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "with --batch, result cache directory (default: "
+            "$REPRO_CACHE_DIR or ~/.cache/repro)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="with --batch, disable the result cache entirely",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help=(
+            "with --batch, per-item wall-clock budget; overruns are "
+            "reported as timeout without aborting the run (needs "
+            "--jobs > 1)"
+        ),
+    )
+    parser.add_argument(
+        "--jsonl-out",
+        metavar="FILE",
+        help=(
+            "with --batch, stream the report to FILE as JSON lines: "
+            "one record per item plus a final summary record"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help=(
@@ -168,14 +230,14 @@ def _split_rules(spec: str) -> List[str]:
     return [token.strip() for token in spec.split(",") if token.strip()]
 
 
-def _lint_main(args, source: str) -> int:
+def _lint_main(args, source: str, source_path: str) -> int:
     from .lint import lint_source, lint_to_dict, render_text, sarif_report
 
     session = obs.enable() if (args.trace or args.metrics_out) else None
     try:
         result = lint_source(
             source,
-            path=args.source if args.source != "-" else "stdin",
+            path=source_path if source_path != "-" else "stdin",
             disable=_split_rules(args.disable),
             select=_split_rules(args.select) or None,
         )
@@ -221,19 +283,79 @@ def _lint_main(args, source: str) -> int:
     return 1 if result.fails(args.fail_on) else 0
 
 
+def _batch_main(args) -> int:
+    from .errors import ReproError as _ReproError
+    from .farm.runner import collect_sources, run_batch
+
+    session = obs.enable() if (args.trace or args.metrics_out) else None
+    try:
+        pairs = collect_sources(args.sources)
+        report = run_batch(
+            pairs,
+            algorithm=args.algorithm,
+            state_limit=args.state_limit,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            cache=False if args.no_cache else (args.cache_dir or True),
+        )
+    except _ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if session is not None:
+            obs.disable()
+
+    if args.jsonl_out:
+        Path(args.jsonl_out).write_text(report.to_jsonl())
+
+    snapshot = None
+    if session is not None:
+        from .obs.export import session_to_dict, session_to_prometheus
+
+        snapshot = session_to_dict(session)
+        if args.metrics_out:
+            out = Path(args.metrics_out)
+            if out.suffix.lower() == ".prom":
+                out.write_text(session_to_prometheus(session))
+            else:
+                out.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+    if args.json:
+        payload = report.to_dict()
+        if snapshot is not None:
+            payload["metrics"] = snapshot
+        print(json.dumps(payload, indent=2))
+        if args.trace and session is not None:
+            print(session.tracer.render(), file=sys.stderr)
+    else:
+        print(report.describe())
+        if args.trace and session is not None:
+            print(session.tracer.render())
+
+    return 0 if report.deadlock_free else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_arg_parser().parse_args(argv)
-    if args.source == "-":
+    if args.batch:
+        return _batch_main(args)
+    if len(args.sources) > 1:
+        print(
+            "error: multiple sources require --batch", file=sys.stderr
+        )
+        return 2
+    source_path = args.sources[0]
+    if source_path == "-":
         source = sys.stdin.read()
     else:
-        path = Path(args.source)
+        path = Path(source_path)
         if not path.exists():
             print(f"error: no such file: {path}", file=sys.stderr)
             return 2
         source = path.read_text()
 
     if args.lint:
-        return _lint_main(args, source)
+        return _lint_main(args, source, source_path)
 
     session = (
         obs.enable() if (args.trace or args.metrics_out) else None

@@ -1,0 +1,237 @@
+"""Content-addressed result cache for the batch-analysis farm.
+
+An analysis run is a pure function of (canonical program, algorithm,
+state limit, pipeline version), so its :class:`~repro.api.AnalysisResult`
+can be keyed by a hash of those inputs and reused across runs and
+processes.  Keys hash the *parsed* program rendered back through the
+pretty-printer, not raw source bytes — comments and whitespace never
+reach the AST, so edits that cannot change the analysis cannot change
+the key either.
+
+:data:`PIPELINE_VERSION` is a bump-on-change stamp folded into every
+key.  Any PR that changes analysis semantics (detector logic, the
+transforms, sync-graph construction, result dataclasses) must bump it;
+stale entries then simply stop being addressable and age out, so no
+explicit invalidation pass is needed.
+
+The cache is two-level: an in-memory LRU front (per
+:class:`ResultCache` instance) over a pickle-per-entry disk backend
+(shared across processes).  Disk entries that fail to load for any
+reason — truncated writes, unpickling errors, a key mismatch, an old
+format — are treated as misses and deleted, never raised.
+
+Entries are pickles: only point a cache at directories you trust, the
+same caveat as pytest's or mypy's cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, OrderedDict as OrderedDictT, Union
+from collections import OrderedDict
+
+from ..lang.ast_nodes import Program
+from ..lang.parser import parse_program
+from ..lang.pretty import pretty
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api -> farm)
+    from ..api import AnalysisResult
+
+__all__ = [
+    "PIPELINE_VERSION",
+    "CACHE_FORMAT",
+    "CacheStats",
+    "ResultCache",
+    "cache_key",
+    "canonical_source",
+    "default_cache_dir",
+]
+
+# Bump whenever analysis semantics change: detector logic, transforms,
+# sync-graph construction, or the shape of AnalysisResult.  Old entries
+# become unaddressable (different key), so they are never served stale.
+PIPELINE_VERSION = 1
+
+# On-disk envelope format, independent of analysis semantics.
+CACHE_FORMAT = 1
+
+
+def canonical_source(program: Union[str, "Program"]) -> str:
+    """The whitespace/comment-neutral form of ``program``.
+
+    Source text is parsed and unparsed; comments are dropped by the
+    lexer and layout is normalised by the pretty-printer, so two sources
+    differing only in formatting canonicalise identically.  Parse errors
+    propagate — an unparseable program has no canonical form.
+    """
+    if isinstance(program, str):
+        program = parse_program(program)
+    return pretty(program)
+
+
+def cache_key(
+    program: Union[str, "Program"],
+    algorithm: str = "refined",
+    state_limit: int = 200_000,
+    exact: bool = False,
+) -> str:
+    """Content hash addressing one analysis run.
+
+    Mirrors the :func:`repro.api.analyze` signature: everything that can
+    change the result is hashed, nothing else is.
+    """
+    stamp = "\n".join(
+        (
+            f"pipeline={PIPELINE_VERSION}",
+            f"algorithm={algorithm}",
+            f"state_limit={state_limit}",
+            f"exact={exact}",
+            canonical_source(program),
+        )
+    )
+    return hashlib.sha256(stamp.encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    errors: int = 0  # corrupted/unreadable disk entries, counted as misses
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "errors": self.errors,
+        }
+
+
+class ResultCache:
+    """Two-level cache: in-memory LRU over a pickle-per-entry directory.
+
+    ``memory_entries`` bounds the LRU front only; the disk backend is
+    unbounded (entries are small and content-addressed, ``clear()``
+    wipes them).  Disk writes are atomic (temp file + ``os.replace``),
+    so a killed run never leaves a half-written entry that a later run
+    would trip over — and if anything else corrupts an entry, loading it
+    counts as a miss and deletes the file.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Union[str, Path, None] = None,
+        memory_entries: int = 256,
+    ) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.memory_entries = memory_entries
+        self.stats = CacheStats()
+        self._memory: OrderedDictT[str, "AnalysisResult"] = OrderedDict()
+
+    # -- paths -----------------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        # Two-level fan-out keeps any one directory small.
+        return self.cache_dir / key[:2] / f"{key}.pkl"
+
+    # -- lookup ----------------------------------------------------------
+
+    def get(self, key: str) -> Optional["AnalysisResult"]:
+        """The cached result for ``key``, or None (miss)."""
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return self._memory[key]
+        result = self._load_disk(key)
+        if result is None:
+            self.stats.misses += 1
+            return None
+        self._remember(key, result)
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: "AnalysisResult") -> None:
+        """Store ``result`` under ``key`` (memory + disk)."""
+        self._remember(key, result)
+        path = self._entry_path(key)
+        envelope = {"format": CACHE_FORMAT, "key": key, "result": result}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            with open(tmp, "wb") as fh:
+                pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+            self.stats.stores += 1
+        except OSError:
+            # A read-only or full cache dir degrades to memory-only.
+            self.stats.errors += 1
+
+    def clear(self) -> None:
+        """Drop the memory front and delete every disk entry."""
+        self._memory.clear()
+        if not self.cache_dir.exists():
+            return
+        for entry in self.cache_dir.glob("??/*.pkl"):
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        """Number of entries on disk."""
+        if not self.cache_dir.exists():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("??/*.pkl"))
+
+    # -- internals -------------------------------------------------------
+
+    def _remember(self, key: str, result: "AnalysisResult") -> None:
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _load_disk(self, key: str) -> Optional["AnalysisResult"]:
+        path = self._entry_path(key)
+        try:
+            with open(path, "rb") as fh:
+                envelope = pickle.load(fh)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("format") != CACHE_FORMAT
+                or envelope.get("key") != key
+            ):
+                raise ValueError("cache entry envelope mismatch")
+            return envelope["result"]
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupted, truncated, or foreign entry: a miss, not a
+            # crash.  Delete it so the slot heals on the next store.
+            self.stats.errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None

@@ -25,6 +25,7 @@ __all__ = [
     "witness_to_dict",
     "confirmation_to_dict",
     "analysis_result_to_dict",
+    "summary_result_to_dict",
 ]
 
 # 2: added optional top-level "metrics" (repro.obs snapshot: counters,
@@ -162,3 +163,28 @@ def analysis_result_to_dict(
     if metrics is not None:
         payload["metrics"] = metrics
     return payload
+
+
+def summary_result_to_dict(result: AnalysisResult) -> Dict[str, Any]:
+    """Compact per-program payload for batch (JSONL) records.
+
+    A strict subset of :func:`analysis_result_to_dict`: program
+    identity and verdicts, without the validation/evidence detail —
+    small enough to emit once per line for thousands of items.
+    """
+    return {
+        "program": result.program.name,
+        "tasks": list(result.program.task_names),
+        "loops_transformed": result.loops_transformed,
+        "deadlock": {
+            "verdict": result.deadlock.verdict,
+            "algorithm": result.deadlock.algorithm,
+            "deadlock_free": result.deadlock.deadlock_free,
+            "evidence_count": len(result.deadlock.evidence),
+        },
+        "stall": {
+            "verdict": result.stall.verdict,
+            "method": result.stall.method,
+            "stall_free": result.stall.stall_free,
+        },
+    }

@@ -376,3 +376,148 @@ class TestLintMode:
         doc = json.loads(sarif_out.read_text())
         assert doc["version"] == "2.1.0"
         assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-analyze"
+
+
+class TestBatchMode:
+    @pytest.fixture
+    def corpus_dir(self, tmp_path):
+        d = tmp_path / "corpus"
+        d.mkdir()
+        (d / "handshake.adl").write_text(HANDSHAKE_SRC)
+        (d / "crossed.adl").write_text(CROSSED_SRC)
+        return d
+
+    def test_all_certified_returns_zero(self, handshake_file, tmp_path):
+        rc = main(
+            [
+                "--batch",
+                str(handshake_file),
+                "--jobs",
+                "1",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        assert rc == 0
+
+    def test_possible_deadlock_returns_one(self, corpus_dir, tmp_path, capsys):
+        rc = main(
+            [
+                "--batch",
+                str(corpus_dir),
+                "--jobs",
+                "2",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "possible-deadlock" in out
+        assert "batch: 2 item(s)" in out
+
+    def test_no_sources_matched_returns_two(self, tmp_path, capsys):
+        rc = main(["--batch", str(tmp_path / "nothing"), "--no-cache"])
+        assert rc == 2
+        assert "no ADL sources match" in capsys.readouterr().err
+
+    def test_multiple_sources_without_batch_rejected(
+        self, handshake_file, crossed_file, capsys
+    ):
+        rc = main([str(handshake_file), str(crossed_file)])
+        assert rc == 2
+        assert "--batch" in capsys.readouterr().err
+
+    def test_warm_rerun_reports_cache_hits(self, corpus_dir, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["--batch", str(corpus_dir), "--jobs", "1", "--cache-dir", cache_dir]
+        main(args)
+        capsys.readouterr()
+        main(args + ["--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["hits"] == 2
+        assert all(
+            item["cache"] == "hit" for item in payload["item_reports"]
+        )
+
+    def test_no_cache_flag(self, corpus_dir, tmp_path, capsys):
+        main(["--batch", str(corpus_dir), "--no-cache", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"] == {"enabled": False, "hits": 0, "misses": 0}
+
+    def test_jsonl_out(self, corpus_dir, tmp_path, capsys):
+        out = tmp_path / "report.jsonl"
+        main(
+            [
+                "--batch",
+                str(corpus_dir),
+                "--no-cache",
+                "--jsonl-out",
+                str(out),
+            ]
+        )
+        lines = [json.loads(l) for l in out.read_text().splitlines()]
+        assert [l["kind"] for l in lines] == ["item", "item", "summary"]
+        assert lines[-1]["items"] == 2
+        programs = {l["program"] for l in lines[:-1]}
+        assert programs == {"handshake", "crossed"}
+
+    def test_batch_metrics_out(self, corpus_dir, tmp_path):
+        metrics = tmp_path / "farm-metrics.json"
+        main(
+            [
+                "--batch",
+                str(corpus_dir),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["farm.cache.misses"] == 2
+        assert snapshot["counters"]["farm.items.analyzed"] == 2
+
+    def test_injected_crash_contained_via_cli(
+        self, corpus_dir, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_FARM_INJECT_CRASH", "crossed")
+        rc = main(
+            ["--batch", str(corpus_dir), "--jobs", "2", "--no-cache", "--json"]
+        )
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        by_label = {
+            item["label"]: item for item in payload["item_reports"]
+        }
+        crashed = [i for i in payload["item_reports"] if i["status"] == "crashed"]
+        assert len(crashed) == 1
+        assert "crossed" in crashed[0]["label"]
+        ok = [i for i in payload["item_reports"] if i["status"] == "ok"]
+        assert len(ok) == 1
+
+    def test_batch_smoke_subprocess(self, corpus_dir, tmp_path):
+        """End-to-end via the real entry point, cold then warm."""
+        cache_dir = str(tmp_path / "cache")
+        jsonl = tmp_path / "batch.jsonl"
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "--batch",
+            str(corpus_dir),
+            "--jobs",
+            "2",
+            "--cache-dir",
+            cache_dir,
+            "--jsonl-out",
+            str(jsonl),
+        ]
+        cold = subprocess.run(argv, capture_output=True, text=True, timeout=120)
+        assert cold.returncode == 1, cold.stderr  # crossed deadlocks
+        warm = subprocess.run(argv, capture_output=True, text=True, timeout=120)
+        assert warm.returncode == 1, warm.stderr
+        summary = [
+            json.loads(l) for l in jsonl.read_text().splitlines()
+        ][-1]
+        assert summary["cache"]["hits"] == 2

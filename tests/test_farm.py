@@ -1,0 +1,424 @@
+"""Tests for the batch-analysis farm: cache, pool, runner, analyze_many."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+
+import pytest
+
+import repro
+from repro import obs
+from repro.api import ALGORITHMS, analyze, analyze_many
+from repro.errors import ReproError
+from repro.farm import (
+    PIPELINE_VERSION,
+    ResultCache,
+    STATUS_CRASHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    WorkItem,
+    WorkOutcome,
+    cache_key,
+    canonical_source,
+    collect_sources,
+    run_batch,
+    run_pool,
+)
+from repro.farm import cache as cache_module
+from repro.workloads import adl_corpus
+from tests.conftest import CROSSED_SRC, HANDSHAKE_SRC
+
+COMMENTED_HANDSHAKE = """
+program handshake;
+-- a comment the canonical form must not see
+task t1 is
+begin
+    send   t2.sig1;
+    accept sig2;
+end;
+task t2 is begin accept sig1; send t1.sig2; end;
+"""
+
+
+# ---------------------------------------------------------------------------
+# cache keys
+
+
+class TestCacheKey:
+    def test_same_source_same_key(self):
+        assert cache_key(HANDSHAKE_SRC) == cache_key(HANDSHAKE_SRC)
+
+    def test_whitespace_and_comments_do_not_change_key(self):
+        assert cache_key(HANDSHAKE_SRC) == cache_key(COMMENTED_HANDSHAKE)
+        assert canonical_source(HANDSHAKE_SRC) == canonical_source(
+            COMMENTED_HANDSHAKE
+        )
+
+    def test_different_program_different_key(self):
+        assert cache_key(HANDSHAKE_SRC) != cache_key(CROSSED_SRC)
+
+    def test_algorithm_changes_key(self):
+        assert cache_key(HANDSHAKE_SRC, algorithm="naive") != cache_key(
+            HANDSHAKE_SRC, algorithm="refined"
+        )
+
+    def test_state_limit_and_exact_change_key(self):
+        base = cache_key(HANDSHAKE_SRC)
+        assert cache_key(HANDSHAKE_SRC, state_limit=7) != base
+        assert cache_key(HANDSHAKE_SRC, exact=True) != base
+
+    def test_pipeline_version_changes_key(self, monkeypatch):
+        base = cache_key(HANDSHAKE_SRC)
+        monkeypatch.setattr(cache_module, "PIPELINE_VERSION", PIPELINE_VERSION + 1)
+        assert cache_key(HANDSHAKE_SRC) != base
+
+    def test_accepts_parsed_program(self, handshake):
+        assert cache_key(handshake) == cache_key(HANDSHAKE_SRC)
+
+
+# ---------------------------------------------------------------------------
+# result cache
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(HANDSHAKE_SRC)
+        assert cache.get(key) is None
+        result = analyze(HANDSHAKE_SRC)
+        cache.put(key, result)
+        got = cache.get(key)
+        assert got is not None
+        assert got.deadlock.verdict == result.deadlock.verdict
+
+    def test_disk_persists_across_instances(self, tmp_path):
+        key = cache_key(HANDSHAKE_SRC)
+        ResultCache(tmp_path).put(key, analyze(HANDSHAKE_SRC))
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key) is not None
+        assert fresh.stats.hits == 1
+
+    def test_corrupted_entry_is_a_miss_not_a_crash(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(HANDSHAKE_SRC)
+        cache.put(key, analyze(HANDSHAKE_SRC))
+        entry = cache._entry_path(key)
+        entry.write_bytes(b"not a pickle at all")
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.stats.errors == 1
+        assert not entry.exists()  # healed: deleted for the next store
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key_a = cache_key(HANDSHAKE_SRC)
+        key_b = cache_key(CROSSED_SRC)
+        cache.put(key_a, analyze(HANDSHAKE_SRC))
+        # Simulate a renamed/copied entry file.
+        path_b = cache._entry_path(key_b)
+        path_b.parent.mkdir(parents=True, exist_ok=True)
+        path_b.write_bytes(cache._entry_path(key_a).read_bytes())
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key_b) is None
+
+    def test_memory_lru_eviction_still_hits_disk(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_entries=1)
+        key_a = cache_key(HANDSHAKE_SRC)
+        key_b = cache_key(CROSSED_SRC)
+        cache.put(key_a, analyze(HANDSHAKE_SRC))
+        cache.put(key_b, analyze(CROSSED_SRC))  # evicts key_a from memory
+        assert cache.stats.evictions == 1
+        assert cache.get(key_a) is not None  # reloaded from disk
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache_key(HANDSHAKE_SRC), analyze(HANDSHAKE_SRC))
+        cache.put(cache_key(CROSSED_SRC), analyze(CROSSED_SRC))
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(cache_key(HANDSHAKE_SRC)) is None
+
+
+# ---------------------------------------------------------------------------
+# picklability (cached payloads and pool transport depend on it)
+
+
+class TestPicklability:
+    def test_algorithm_registry_is_picklable(self):
+        for name, fn in ALGORITHMS.items():
+            assert pickle.loads(pickle.dumps(fn)) is fn, name
+
+    @pytest.mark.parametrize(
+        "name", ["elevator", "atm_deadlock", "sensor_poll", "handoff_protocol"]
+    )
+    def test_analysis_result_round_trips(self, name):
+        entry = adl_corpus()[name]
+        result = analyze(entry.source)
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.program == result.program
+        assert clone.deadlock.verdict == result.deadlock.verdict
+        assert clone.stall.verdict == result.stall.verdict
+        assert clone.validation.diagnostics == result.validation.diagnostics
+        assert clone.sync_graph.stats() == result.sync_graph.stats()
+        assert clone.describe() == result.describe()
+
+    def test_k_pairs_result_round_trips(self):
+        result = analyze(CROSSED_SRC, algorithm="k-pairs-3")
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.deadlock.verdict == result.deadlock.verdict
+
+
+# ---------------------------------------------------------------------------
+# worker pool
+
+
+def _slow_worker(item: WorkItem) -> WorkOutcome:
+    if "slow" in item.label:
+        time.sleep(30)
+    return WorkOutcome(label=item.label, status=STATUS_OK, result=item.label)
+
+
+def _crashing_worker(item: WorkItem) -> WorkOutcome:
+    if "boom" in item.label:
+        os._exit(23)
+    return WorkOutcome(label=item.label, status=STATUS_OK, result=item.label)
+
+
+def _items(labels):
+    return [WorkItem(label=label, source=HANDSHAKE_SRC) for label in labels]
+
+
+class TestPool:
+    def test_serial_matches_input_order(self):
+        outcomes = run_pool(_items(["a", "b", "c"]), jobs=1)
+        assert [o.label for o in outcomes] == ["a", "b", "c"]
+        assert all(o.ok for o in outcomes)
+
+    def test_serial_contains_failures(self):
+        items = [
+            WorkItem(label="good", source=HANDSHAKE_SRC),
+            WorkItem(label="bad", source="program ;"),
+        ]
+        outcomes = run_pool(items, jobs=1)
+        assert outcomes[0].ok
+        assert outcomes[1].status == STATUS_FAILED
+        assert "Traceback" in outcomes[1].error
+
+    def test_parallel_matches_serial_verdicts(self):
+        corpus = adl_corpus()
+        items = [
+            WorkItem(label=name, source=entry.source)
+            for name, entry in sorted(corpus.items())
+        ]
+        parallel = run_pool(items, jobs=4)
+        serial = run_pool(items, jobs=1)
+        assert [o.label for o in parallel] == [o.label for o in serial]
+        for p, s in zip(parallel, serial):
+            assert p.ok and s.ok
+            assert p.result.deadlock.verdict == s.result.deadlock.verdict
+            assert p.result.stall.verdict == s.result.stall.verdict
+
+    def test_parallel_unknown_algorithm_fails_only_that_item(self):
+        items = [
+            WorkItem(label="good", source=HANDSHAKE_SRC),
+            WorkItem(label="bad", source=HANDSHAKE_SRC, algorithm="nope"),
+        ]
+        outcomes = run_pool(items, jobs=2)
+        assert outcomes[0].ok
+        assert outcomes[1].status == STATUS_FAILED
+        assert "unknown algorithm" in outcomes[1].error
+
+    def test_timeout_marks_item_and_spares_the_rest(self):
+        items = _items(["ok-1", "slow-item", "ok-2", "ok-3"])
+        outcomes = run_pool(
+            items, jobs=2, timeout=1.5, worker=_slow_worker
+        )
+        by_label = {o.label: o for o in outcomes}
+        assert by_label["slow-item"].status == STATUS_TIMEOUT
+        for label in ("ok-1", "ok-2", "ok-3"):
+            assert by_label[label].ok, label
+
+    def test_crash_convicts_only_the_crasher(self):
+        items = _items(["ok-1", "boom-item", "ok-2", "ok-3", "ok-4"])
+        outcomes = run_pool(items, jobs=3, worker=_crashing_worker)
+        by_label = {o.label: o for o in outcomes}
+        assert by_label["boom-item"].status == STATUS_CRASHED
+        assert "died" in by_label["boom-item"].error
+        for label in ("ok-1", "ok-2", "ok-3", "ok-4"):
+            assert by_label[label].ok, label
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_pool([], jobs=0)
+
+
+# ---------------------------------------------------------------------------
+# batch runner
+
+
+class TestRunBatch:
+    def test_verdicts_identical_to_serial_analyze(self, tmp_path):
+        """Acceptance: --jobs 4 over the ADL corpus == serial analyze()."""
+        corpus = adl_corpus()
+        pairs = [(name, entry.source) for name, entry in sorted(corpus.items())]
+        report = run_batch(pairs, jobs=4, cache=tmp_path / "cache")
+        assert report.ok
+        for (name, source), item in zip(pairs, report.items):
+            expected = analyze(source)
+            assert item.result.deadlock.verdict == expected.deadlock.verdict, name
+            assert item.result.stall.verdict == expected.stall.verdict, name
+
+    def test_warm_cache_rerun_hits_and_is_faster(self, tmp_path):
+        corpus = adl_corpus()
+        pairs = [(name, entry.source) for name, entry in sorted(corpus.items())]
+        cache_dir = tmp_path / "cache"
+        with obs.observed() as session:
+            cold = run_batch(pairs, jobs=2, cache=cache_dir)
+            warm = run_batch(pairs, jobs=2, cache=cache_dir)
+        assert cold.cache_hits == 0 and cold.cache_misses == len(pairs)
+        assert warm.cache_hits == len(pairs) and warm.cache_misses == 0
+        # Warm skips all analysis and all worker scheduling.
+        assert warm.wall_time_s < cold.wall_time_s
+        assert session.registry.counter_value("farm.cache.hits") == len(pairs)
+        assert session.registry.counter_value("farm.cache.misses") == len(pairs)
+        for hit_item, cold_item in zip(warm.items, cold.items):
+            assert hit_item.cache == "hit"
+            assert (
+                hit_item.result.deadlock.verdict
+                == cold_item.result.deadlock.verdict
+            )
+
+    def test_cache_disabled_by_default(self):
+        report = run_batch([("h", HANDSHAKE_SRC)])
+        assert not report.cache_enabled
+        assert report.items[0].cache == "off"
+
+    def test_parse_error_item_fails_without_aborting(self, tmp_path):
+        report = run_batch(
+            [("good", HANDSHAKE_SRC), ("bad", "program ;")],
+            jobs=1,
+            cache=tmp_path,
+        )
+        assert report.items[0].ok
+        assert report.items[1].status == STATUS_FAILED
+        assert not report.ok
+        # The broken item must not poison the cache.
+        rerun = run_batch(
+            [("good", HANDSHAKE_SRC), ("bad", "program ;")],
+            jobs=1,
+            cache=tmp_path,
+        )
+        assert rerun.items[0].cache == "hit"
+        assert rerun.items[1].status == STATUS_FAILED
+
+    def test_accepts_programs_and_bare_sources(self, handshake):
+        report = run_batch([handshake, CROSSED_SRC])
+        assert report.items[0].label == "handshake"
+        assert report.items[0].result.deadlock.deadlock_free
+        assert not report.items[1].result.deadlock.deadlock_free
+
+    def test_injected_crash_is_contained(self, tmp_path, monkeypatch):
+        """Acceptance: a crashing worker item is FAILED/CRASHED without
+        aborting the remaining items."""
+        monkeypatch.setenv("REPRO_FARM_INJECT_CRASH", "atm_deadlock")
+        corpus = adl_corpus()
+        pairs = [(name, entry.source) for name, entry in sorted(corpus.items())]
+        with obs.observed() as session:
+            report = run_batch(pairs, jobs=3, cache=tmp_path / "cache")
+        by_label = {item.label: item for item in report.items}
+        assert by_label["atm_deadlock"].status == STATUS_CRASHED
+        assert session.registry.counter_value("farm.worker.crashes") >= 1
+        for name in corpus:
+            if name != "atm_deadlock":
+                assert by_label[name].ok, name
+
+    def test_jsonl_and_dict_schema(self, tmp_path):
+        import json
+
+        report = run_batch(
+            [("h", HANDSHAKE_SRC), ("bad", "program ;")], cache=tmp_path
+        )
+        payload = report.to_dict()
+        assert payload["schema_version"] == 1
+        assert payload["pipeline_version"] == PIPELINE_VERSION
+        assert payload["cache"]["misses"] == 1  # "bad" never got a key
+        lines = [
+            json.loads(line) for line in report.to_jsonl().splitlines()
+        ]
+        kinds = [line["kind"] for line in lines]
+        assert kinds == ["item", "item", "summary"]
+        assert lines[0]["program"] == "handshake"
+        assert lines[0]["deadlock"]["deadlock_free"] is True
+        assert lines[1]["status"] == STATUS_FAILED
+        assert lines[1]["error"]
+        assert lines[2]["counts"] == {"ok": 1, "failed": 1}
+
+
+# ---------------------------------------------------------------------------
+# collect_sources
+
+
+class TestCollectSources:
+    def test_directory_file_and_glob(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "a.adl").write_text(HANDSHAKE_SRC)
+        (tmp_path / "sub" / "b.adl").write_text(CROSSED_SRC)
+        (tmp_path / "c.txt").write_text("not adl")
+
+        from_dir = collect_sources([tmp_path])
+        assert [Path_name(p) for p, _ in from_dir] == ["a.adl", "b.adl"]
+
+        from_file = collect_sources([tmp_path / "a.adl"])
+        assert len(from_file) == 1
+
+        from_glob = collect_sources([str(tmp_path / "*.adl")])
+        assert [Path_name(p) for p, _ in from_glob] == ["a.adl"]
+
+    def test_deduplicates_across_specs(self, tmp_path):
+        (tmp_path / "a.adl").write_text(HANDSHAKE_SRC)
+        pairs = collect_sources(
+            [tmp_path, tmp_path / "a.adl", str(tmp_path / "*.adl")]
+        )
+        assert len(pairs) == 1
+
+    def test_no_match_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="no ADL sources match"):
+            collect_sources([tmp_path / "missing.adl"])
+
+
+def Path_name(path_str):
+    return os.path.basename(path_str)
+
+
+# ---------------------------------------------------------------------------
+# analyze_many
+
+
+class TestAnalyzeMany:
+    def test_results_in_input_order(self):
+        report = analyze_many([HANDSHAKE_SRC, CROSSED_SRC])
+        results = report.results
+        assert results[0].deadlock.deadlock_free
+        assert not results[1].deadlock.deadlock_free
+
+    def test_exported_from_package_root(self):
+        assert repro.analyze_many is analyze_many
+
+    def test_caching_and_jobs(self, tmp_path):
+        sources = [HANDSHAKE_SRC, CROSSED_SRC]
+        first = analyze_many(sources, jobs=2, cache=tmp_path)
+        second = analyze_many(sources, jobs=2, cache=tmp_path)
+        assert first.cache_misses == 2
+        assert second.cache_hits == 2
+        for a, b in zip(first.results, second.results):
+            assert a.deadlock.verdict == b.deadlock.verdict
+
+    def test_matches_analyze_verdicts(self):
+        entries = sorted(adl_corpus().values(), key=lambda e: e.name)
+        report = analyze_many([e.source for e in entries], jobs=2)
+        for entry, result in zip(entries, report.results):
+            assert result.deadlock.verdict == analyze(entry.source).deadlock.verdict
