@@ -19,7 +19,12 @@ from repro.lang.pretty import pretty
 from repro.workloads import random_serializable_program
 
 CORPUS_SIZE = 200
-JOBS = min(8, os.cpu_count() or 1)
+# One worker per core: capping below cpu_count() once recorded a
+# "parallel" run with jobs=1 (and a bogus 0.73x "speedup") on a large
+# machine whose cpu_count() probe failed.  The JSON records the actual
+# job count and the probed core count so the numbers are interpretable.
+CPU_COUNT = os.cpu_count() or 1
+JOBS = CPU_COUNT
 
 
 def _corpus():
@@ -86,6 +91,7 @@ def test_batch_throughput(benchmark, tmp_path):
         {
             "corpus_size": CORPUS_SIZE,
             "jobs": JOBS,
+            "cpu_count": CPU_COUNT,
             "serial_cold_s": round(serial_cold_s, 4),
             "parallel_cold_s": round(parallel_cold_s, 4),
             "parallel_warm_s": round(warm_s, 4),

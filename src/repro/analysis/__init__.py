@@ -17,6 +17,7 @@ from .extensions import (
     head_tail_analysis,
     k_pairs_analysis,
 )
+from .index import AnalysisIndex
 from .naive import naive_deadlock_analysis, project_component
 from .orderings import OrderingInfo, compute_orderings
 from .refined import (
@@ -42,6 +43,7 @@ from .stalls import (
 )
 
 __all__ = [
+    "AnalysisIndex",
     "CoExecInfo",
     "ConfirmationOutcome",
     "ConfirmedReport",

@@ -52,20 +52,49 @@ def compute_coexec(
     exclusive conditional branches).  With control cycles the
     reachability test is still safe — loop bodies reach themselves.
     """
-    result: Dict[SyncNode, Set[SyncNode]] = {
-        n: set() for n in graph.rendezvous_nodes
-    }
-    descendants: Dict[SyncNode, FrozenSet[SyncNode]] = {
-        n: graph.control_descendants(n, strict=True)
-        for n in graph.rendezvous_nodes
-    }
+    rendezvous = graph.rendezvous_nodes
+    rid = {node: i for i, node in enumerate(rendezvous)}
+    result: Dict[SyncNode, Set[SyncNode]] = {n: set() for n in rendezvous}
+
+    # reach[i] = bitset of rendezvous nodes control-reachable from node
+    # i (strict: i itself only when it lies on a cycle through itself).
+    reach = [0] * len(rendezvous)
+    for node in rendezvous:
+        seen: Set[SyncNode] = set()
+        stack = list(graph.control_successors(node))
+        bits = 0
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            j = rid.get(cur)
+            if j is not None:
+                bits |= 1 << j
+            stack.extend(graph.control_successors(cur))
+        reach[rid[node]] = bits
+
+    reached_by = [0] * len(rendezvous)
+    for i, bits in enumerate(reach):
+        bit_i = 1 << i
+        m = bits
+        while m:
+            j = (m & -m).bit_length() - 1
+            m &= m - 1
+            reached_by[j] |= bit_i
+
     for task in graph.tasks:
-        nodes = graph.nodes_of_task(task)
-        for i, a in enumerate(nodes):
-            for b in nodes[i + 1 :]:
-                if b not in descendants[a] and a not in descendants[b]:
-                    result[a].add(b)
-                    result[b].add(a)
+        task_mask = 0
+        for node in graph.nodes_of_task(task):
+            task_mask |= 1 << rid[node]
+        for node in graph.nodes_of_task(task):
+            i = rid[node]
+            m = task_mask & ~reach[i] & ~reached_by[i] & ~(1 << i)
+            pairs = result[node]
+            while m:
+                j = (m & -m).bit_length() - 1
+                m &= m - 1
+                pairs.add(rendezvous[j])
     for a, b in extra_not_coexec:
         result[a].add(b)
         result[b].add(a)

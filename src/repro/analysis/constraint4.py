@@ -36,6 +36,7 @@ from typing import FrozenSet, Optional, Set
 
 from ..syncgraph.model import SyncGraph, SyncNode
 from .coexec import CoExecInfo
+from .index import AnalysisIndex
 from .orderings import OrderingInfo, compute_orderings
 from .refined import refined_deadlock_analysis
 from .results import DeadlockReport
@@ -81,14 +82,19 @@ def constraint4_deadlock_analysis(
     graph: SyncGraph,
     orderings: Optional[OrderingInfo] = None,
     coexec: Optional[CoExecInfo] = None,
+    backend: str = "index",
+    index: Optional[AnalysisIndex] = None,
 ) -> DeadlockReport:
     """Refined analysis strengthened with constraint-4 breaker marks.
 
     Every breakable node loses head-entry sync edges in every head
     hypothesis, so cycles that can only be completed through a
-    breakable head disappear.
+    breakable head disappear.  ``backend``/``index`` pass through to
+    :func:`refined_deadlock_analysis`.
     """
-    if orderings is None:
+    if index is not None:
+        orderings = index.orderings
+    elif orderings is None:
         orderings = compute_orderings(graph)
     breakable = breakable_nodes(graph, orderings)
     report = refined_deadlock_analysis(
@@ -96,6 +102,8 @@ def constraint4_deadlock_analysis(
         orderings=orderings,
         coexec=coexec,
         global_no_sync=breakable,
+        backend=backend,
+        index=index,
     )
     report.algorithm = "refined+constraint4"
     report.stats["breakable_nodes"] = len(breakable)

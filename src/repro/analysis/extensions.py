@@ -18,21 +18,31 @@ hypotheses:
 
 Each function certifies deadlock-freedom when no hypothesis survives;
 any surviving hypothesis is conservatively reported.
+
+All four analyses run against a small marking/search engine with two
+interchangeable implementations: :class:`_IndexOps` (the default
+``backend="index"``) drives the bitset kernels of
+:class:`~repro.analysis.index.AnalysisIndex` — one shared index, mark
+vectors memoized across the O(N²)–O(N^k) combination loops, rooted
+early-exit Tarjan — while :class:`_SetOps` (``backend="reference"``)
+keeps the original per-hypothesis set marking over hashed CLG nodes as
+the differential oracle.
 """
 
 from __future__ import annotations
 
 from itertools import combinations
-from typing import FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from .. import obs
 from ..errors import AnalysisError
 from ..syncgraph.clg import CLG, CLGEdge, CLGNode, EdgeKind, build_clg
 from ..syncgraph.model import SyncGraph, SyncNode
 from .coexec import CoExecInfo, compute_coexec
+from .index import AnalysisIndex
 from .naive import project_component
 from .orderings import OrderingInfo, compute_orderings
-from .refined import coaccept_of, possible_heads
+from .refined import BACKENDS, coaccept_of, possible_heads
 from .results import DeadlockEvidence, DeadlockReport, Verdict
 
 __all__ = [
@@ -44,46 +54,166 @@ __all__ = [
 ]
 
 
-def _prepare(
+class _SetOps:
+    """Reference marking/search engine over hashed CLG node sets."""
+
+    empty: FrozenSet[CLGNode] = frozenset()
+
+    def __init__(
+        self,
+        graph: SyncGraph,
+        clg: CLG,
+        orderings: OrderingInfo,
+        coexec: CoExecInfo,
+    ) -> None:
+        self.graph = graph
+        self.clg = clg
+        self.orderings = orderings
+        self.coexec = coexec
+
+    def in_ref(self, node: SyncNode) -> CLGNode:
+        return self.clg.in_node(node)
+
+    def out_ref(self, node: SyncNode) -> CLGNode:
+        return self.clg.out_node(node)
+
+    def head_marks(
+        self, head: SyncNode, use_coaccept: bool = True
+    ) -> Tuple[Set[CLGNode], Set[CLGNode]]:
+        return _head_marks(
+            self.graph, self.clg, head, self.orderings, self.coexec,
+            use_coaccept,
+        )
+
+    def tail_marks(self, tail: SyncNode) -> Set[CLGNode]:
+        """DO-NOT-ENTER marks for nodes not co-executable with ``tail``."""
+        clg = self.clg
+        marks: Set[CLGNode] = set()
+        for k in self.coexec.not_coexec_with(tail):
+            marks.add(clg.in_node(k))
+            marks.add(clg.out_node(k))
+        return marks
+
+    def task_restriction(self, tasks: Set[str]) -> Set[CLGNode]:
+        """DO-NOT-ENTER marks removing split nodes outside ``tasks``."""
+        return {
+            n
+            for n in self.clg.nodes
+            if n.sync is not None and n.sync.task not in tasks
+        }
+
+    def search(
+        self,
+        required: Tuple[CLGNode, ...],
+        no_sync: Set[CLGNode],
+        do_not_enter: Set[CLGNode],
+    ) -> Optional[FrozenSet[SyncNode]]:
+        """Cyclic component containing all ``required``, projected."""
+        if any(n in do_not_enter or n in no_sync for n in required):
+            return None
+
+        def edge_ok(edge: CLGEdge) -> bool:
+            if edge.kind != EdgeKind.SYNC:
+                return True
+            return edge.src not in no_sync and edge.dst not in no_sync
+
+        def node_ok(node: CLGNode) -> bool:
+            return node not in do_not_enter
+
+        for component in self.clg.cyclic_components(edge_ok, node_ok):
+            if all(n in component for n in required):
+                return project_component(component)
+        return None
+
+
+class _IndexOps:
+    """Bitset marking/search engine over a shared :class:`AnalysisIndex`."""
+
+    empty: int = 0
+
+    def __init__(self, index: AnalysisIndex) -> None:
+        self.index = index
+        self.graph = index.graph
+        self.clg = index.clg
+        self.orderings = index.orderings
+        self.coexec = index.coexec
+
+    def in_ref(self, node: SyncNode) -> int:
+        return self.index.in_id[node]
+
+    def out_ref(self, node: SyncNode) -> int:
+        return self.index.out_id[node]
+
+    def head_marks(
+        self, head: SyncNode, use_coaccept: bool = True
+    ) -> Tuple[int, int]:
+        return self.index.head_marks(head, use_coaccept)
+
+    def tail_marks(self, tail: SyncNode) -> int:
+        return self.index.not_coexec_bits[tail]
+
+    def task_restriction(self, tasks: Set[str]) -> int:
+        return self.index.task_restriction(tasks)
+
+    def search(
+        self, required: Tuple[int, ...], no_sync: int, do_not_enter: int
+    ) -> Optional[FrozenSet[SyncNode]]:
+        combined = no_sync | do_not_enter
+        for r in required:
+            if (combined >> r) & 1:
+                return None
+        # SCCs partition the pruned CLG, so the component of the first
+        # required node is the only candidate containing all of them.
+        ids, _visited = self.index.cyclic_component_ids(
+            required[0], no_sync, do_not_enter
+        )
+        if ids is None:
+            return None
+        if len(required) > 1:
+            id_set = set(ids)
+            if any(r not in id_set for r in required[1:]):
+                return None
+        return self.index.project_ids(ids)
+
+
+_Ops = Union[_SetOps, _IndexOps]
+
+
+def _make_ops(
     graph: SyncGraph,
     clg: Optional[CLG],
     orderings: Optional[OrderingInfo],
     coexec: Optional[CoExecInfo],
-) -> Tuple[CLG, OrderingInfo, CoExecInfo]:
+    backend: str,
+    index: Optional[AnalysisIndex],
+) -> _Ops:
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
     if graph.has_control_cycle():
         raise AnalysisError(
             "extension analyses require acyclic control flow; apply "
             "repro.transforms.unroll.remove_loops first"
         )
-    return (
-        clg if clg is not None else build_clg(graph),
-        orderings if orderings is not None else compute_orderings(graph),
-        coexec if coexec is not None else compute_coexec(graph),
-    )
-
-
-def _search(
-    clg: CLG,
-    required: Tuple[CLGNode, ...],
-    no_sync: Set[CLGNode],
-    do_not_enter: Set[CLGNode],
-) -> Optional[FrozenSet[CLGNode]]:
-    """Cyclic component of the pruned CLG containing all ``required``."""
-    if any(n in do_not_enter or n in no_sync for n in required):
-        return None
-
-    def edge_ok(edge: CLGEdge) -> bool:
-        if edge.kind != EdgeKind.SYNC:
-            return True
-        return edge.src not in no_sync and edge.dst not in no_sync
-
-    def node_ok(node: CLGNode) -> bool:
-        return node not in do_not_enter
-
-    for component in clg.cyclic_components(edge_ok, node_ok):
-        if all(n in component for n in required):
-            return component
-    return None
+    if index is None:
+        if clg is None:
+            clg = build_clg(graph)
+        if orderings is None:
+            orderings = compute_orderings(graph)
+        if coexec is None:
+            coexec = compute_coexec(graph)
+        if backend == "index":
+            index = AnalysisIndex(
+                graph, clg=clg, orderings=orderings, coexec=coexec
+            )
+    if backend == "index":
+        assert index is not None
+        return _IndexOps(index)
+    if index is not None:
+        return _SetOps(graph, index.clg, index.orderings, index.coexec)
+    assert clg is not None and orderings is not None and coexec is not None
+    return _SetOps(graph, clg, orderings, coexec)
 
 
 def _head_marks(
@@ -119,6 +249,8 @@ def head_pairs_analysis(
     clg: Optional[CLG] = None,
     orderings: Optional[OrderingInfo] = None,
     coexec: Optional[CoExecInfo] = None,
+    backend: str = "index",
+    index: Optional[AnalysisIndex] = None,
 ) -> DeadlockReport:
     """Extension 1: hypothesize pairs of head nodes.
 
@@ -127,7 +259,8 @@ def head_pairs_analysis(
     other (constraint 2 — co-heads joined by a sync edge would let the
     wave advance).
     """
-    clg, orderings, coexec = _prepare(graph, clg, orderings, coexec)
+    ops = _make_ops(graph, clg, orderings, coexec, backend, index)
+    orderings, coexec = ops.orderings, ops.coexec
     heads = possible_heads(graph)
     evidence: List[DeadlockEvidence] = []
     examined = 0
@@ -141,19 +274,16 @@ def head_pairs_analysis(
         if graph.has_sync_edge(h1, h2):
             continue
         examined += 1
-        ns1, dne1 = _head_marks(graph, clg, h1, orderings, coexec)
-        ns2, dne2 = _head_marks(graph, clg, h2, orderings, coexec)
-        component = _search(
-            clg,
-            (clg.in_node(h1), clg.in_node(h2)),
+        ns1, dne1 = ops.head_marks(h1)
+        ns2, dne2 = ops.head_marks(h2)
+        component = ops.search(
+            (ops.in_ref(h1), ops.in_ref(h2)),
             ns1 | ns2,
             dne1 | dne2,
         )
         if component is not None:
             evidence.append(
-                DeadlockEvidence(
-                    component=project_component(component), head=h1, tail=h2
-                )
+                DeadlockEvidence(component=component, head=h1, tail=h2)
             )
     if obs.is_enabled():
         enumerated = len(heads) * (len(heads) - 1) // 2
@@ -201,6 +331,8 @@ def head_tail_analysis(
     clg: Optional[CLG] = None,
     orderings: Optional[OrderingInfo] = None,
     coexec: Optional[CoExecInfo] = None,
+    backend: str = "index",
+    index: Optional[AnalysisIndex] = None,
 ) -> DeadlockReport:
     """Extension 2: hypothesize (head, tail) pairs within one task.
 
@@ -209,7 +341,8 @@ def head_tail_analysis(
     and COACCEPT marking is unnecessary (the exit node is fixed).  A
     head with no viable tail cannot head any cycle.
     """
-    clg, orderings, coexec = _prepare(graph, clg, orderings, coexec)
+    ops = _make_ops(graph, clg, orderings, coexec, backend, index)
+    coexec = ops.coexec
     heads = possible_heads(graph)
     evidence: List[DeadlockEvidence] = []
     examined = 0
@@ -218,24 +351,17 @@ def head_tail_analysis(
             examined += 1
             # COACCEPT marking is unnecessary when the exit node is
             # hypothesized explicitly (paper, extensions discussion).
-            no_sync, do_not_enter = _head_marks(
-                graph, clg, head, orderings, coexec, use_coaccept=False
-            )
-            for k in coexec.not_coexec_with(tail):
-                do_not_enter.add(clg.in_node(k))
-                do_not_enter.add(clg.out_node(k))
-            component = _search(
-                clg,
-                (clg.in_node(head), clg.out_node(tail)),
+            no_sync, do_not_enter = ops.head_marks(head, use_coaccept=False)
+            do_not_enter = do_not_enter | ops.tail_marks(tail)
+            component = ops.search(
+                (ops.in_ref(head), ops.out_ref(tail)),
                 no_sync,
                 do_not_enter,
             )
             if component is not None:
                 evidence.append(
                     DeadlockEvidence(
-                        component=project_component(component),
-                        head=head,
-                        tail=tail,
+                        component=component, head=head, tail=tail
                     )
                 )
                 break  # one surviving tail suffices to flag this head
@@ -262,6 +388,8 @@ def combined_pairs_analysis(
     orderings: Optional[OrderingInfo] = None,
     coexec: Optional[CoExecInfo] = None,
     max_hypotheses: int = 250_000,
+    backend: str = "index",
+    index: Optional[AnalysisIndex] = None,
 ) -> DeadlockReport:
     """Extensions 3/4 (k=2): pairs of head–tail pairs.
 
@@ -273,7 +401,14 @@ def combined_pairs_analysis(
     the hypothesis space exceeds ``max_hypotheses`` — this extension is
     the expensive end of the paper's accuracy/cost spectrum.
     """
-    clg, orderings, coexec = _prepare(graph, clg, orderings, coexec)
+    ops = _make_ops(graph, clg, orderings, coexec, backend, index)
+    return _combined_pairs(graph, ops, max_hypotheses)
+
+
+def _combined_pairs(
+    graph: SyncGraph, ops: _Ops, max_hypotheses: int
+) -> DeadlockReport:
+    orderings, coexec = ops.orderings, ops.coexec
     evidence: List[DeadlockEvidence] = []
     pairs: List[Tuple[SyncNode, SyncNode]] = []
     for head in possible_heads(graph):
@@ -296,33 +431,25 @@ def combined_pairs_analysis(
         if graph.has_sync_edge(h1, h2):
             continue
         examined += 1
-        ns1, dne1 = _head_marks(
-            graph, clg, h1, orderings, coexec, use_coaccept=False
-        )
-        ns2, dne2 = _head_marks(
-            graph, clg, h2, orderings, coexec, use_coaccept=False
-        )
+        ns1, dne1 = ops.head_marks(h1, use_coaccept=False)
+        ns2, dne2 = ops.head_marks(h2, use_coaccept=False)
         no_sync = ns1 | ns2
-        do_not_enter = dne1 | dne2
-        for k in coexec.not_coexec_with(t1) | coexec.not_coexec_with(t2):
-            do_not_enter.add(clg.in_node(k))
-            do_not_enter.add(clg.out_node(k))
-        component = _search(
-            clg,
+        do_not_enter = (
+            dne1 | dne2 | ops.tail_marks(t1) | ops.tail_marks(t2)
+        )
+        component = ops.search(
             (
-                clg.in_node(h1),
-                clg.out_node(t1),
-                clg.in_node(h2),
-                clg.out_node(t2),
+                ops.in_ref(h1),
+                ops.out_ref(t1),
+                ops.in_ref(h2),
+                ops.out_ref(t2),
             ),
             no_sync,
             do_not_enter,
         )
         if component is not None:
             evidence.append(
-                DeadlockEvidence(
-                    component=project_component(component), head=h1, tail=h2
-                )
+                DeadlockEvidence(component=component, head=h1, tail=h2)
             )
     if obs.is_enabled():
         obs.counter(
@@ -342,10 +469,7 @@ def combined_pairs_analysis(
 
 
 def _restricted_two_task_search(
-    graph: SyncGraph,
-    clg: CLG,
-    orderings: OrderingInfo,
-    coexec: CoExecInfo,
+    graph: SyncGraph, ops: _Ops
 ) -> List[DeadlockEvidence]:
     """Exhaustive search for cycles spanning exactly two tasks.
 
@@ -354,8 +478,6 @@ def _restricted_two_task_search(
     inside the restriction.  Complete for two-task cycles: such a cycle
     only ever touches nodes of its two tasks.
     """
-    from .refined import component_for_head
-
     evidence: List[DeadlockEvidence] = []
     heads_by_task: Dict[str, List[SyncNode]] = {}
     for head in possible_heads(graph):
@@ -363,23 +485,15 @@ def _restricted_two_task_search(
     tasks = [t for t in graph.tasks if t in heads_by_task]
     for a_idx, task_a in enumerate(tasks):
         for task_b in tasks[a_idx + 1 :]:
-            allowed_tasks = {task_a, task_b}
-
-            def node_ok(node: CLGNode) -> bool:
-                return node.sync is None or node.sync.task in allowed_tasks
-
+            restriction = ops.task_restriction({task_a, task_b})
             for head in heads_by_task[task_a]:
-                ns, dne = _head_marks(graph, clg, head, orderings, coexec)
-                dne = set(dne) | {
-                    n for n in clg.nodes if not node_ok(n)
-                }
-                component = _search(clg, (clg.in_node(head),), ns, dne)
+                ns, dne = ops.head_marks(head)
+                component = ops.search(
+                    (ops.in_ref(head),), ns, dne | restriction
+                )
                 if component is not None:
                     evidence.append(
-                        DeadlockEvidence(
-                            component=project_component(component),
-                            head=head,
-                        )
+                        DeadlockEvidence(component=component, head=head)
                     )
                     break  # one witness per task pair suffices
     return evidence
@@ -392,6 +506,8 @@ def k_pairs_analysis(
     orderings: Optional[OrderingInfo] = None,
     coexec: Optional[CoExecInfo] = None,
     max_hypotheses: int = 500_000,
+    backend: str = "index",
+    index: Optional[AnalysisIndex] = None,
 ) -> DeadlockReport:
     """Extension 4 for general ``k``: hypothesize ``k`` head–tail pairs.
 
@@ -408,25 +524,28 @@ def k_pairs_analysis(
     """
     if k < 2:
         raise ValueError("k must be at least 2")
+    ops = _make_ops(graph, clg, orderings, coexec, backend, index)
+    return _k_pairs(graph, ops, k, max_hypotheses)
+
+
+def _k_pairs(
+    graph: SyncGraph, ops: _Ops, k: int, max_hypotheses: int
+) -> DeadlockReport:
     if k == 2:
-        report = combined_pairs_analysis(
-            graph, clg, orderings, coexec, max_hypotheses
-        )
+        report = _combined_pairs(graph, ops, max_hypotheses)
         report.algorithm = "refined+k-pairs(2)"
         return report
-    clg, orderings, coexec = _prepare(graph, clg, orderings, coexec)
+    orderings, coexec = ops.orderings, ops.coexec
 
     # Cycles spanning fewer than k tasks.  For k = 3 only two-task
     # cycles need exhaustive coverage (searched directly, restricted to
     # each task pair); for k > 3 the k-1 analysis covers 2..k-1 tasks.
     if k == 3:
         evidence: List[DeadlockEvidence] = list(
-            _restricted_two_task_search(graph, clg, orderings, coexec)
+            _restricted_two_task_search(graph, ops)
         )
     else:
-        smaller = k_pairs_analysis(
-            graph, k - 1, clg, orderings, coexec, max_hypotheses
-        )
+        smaller = _k_pairs(graph, ops, k - 1, max_hypotheses)
         evidence = list(smaller.evidence)
 
     pairs: List[Tuple[SyncNode, SyncNode]] = []
@@ -458,25 +577,20 @@ def k_pairs_analysis(
         if not viable:
             continue
         examined += 1
-        no_sync: Set[CLGNode] = set()
-        do_not_enter: Set[CLGNode] = set()
-        required: List[CLGNode] = []
+        no_sync = ops.empty
+        do_not_enter = ops.empty
+        required = []
         for head, tail in combo:
-            ns, dne = _head_marks(
-                graph, clg, head, orderings, coexec, use_coaccept=False
-            )
-            no_sync |= ns
-            do_not_enter |= dne
-            for kk in coexec.not_coexec_with(tail):
-                do_not_enter.add(clg.in_node(kk))
-                do_not_enter.add(clg.out_node(kk))
-            required.append(clg.in_node(head))
-            required.append(clg.out_node(tail))
-        component = _search(clg, tuple(required), no_sync, do_not_enter)
+            ns, dne = ops.head_marks(head, use_coaccept=False)
+            no_sync = no_sync | ns
+            do_not_enter = do_not_enter | dne | ops.tail_marks(tail)
+            required.append(ops.in_ref(head))
+            required.append(ops.out_ref(tail))
+        component = ops.search(tuple(required), no_sync, do_not_enter)
         if component is not None:
             evidence.append(
                 DeadlockEvidence(
-                    component=project_component(component),
+                    component=component,
                     head=combo[0][0],
                     tail=combo[1][0],
                 )
@@ -498,11 +612,13 @@ def k_pairs_analysis(
     )
 
 
-def k_pairs_3_analysis(graph: SyncGraph) -> DeadlockReport:
+def k_pairs_3_analysis(
+    graph: SyncGraph, backend: str = "index"
+) -> DeadlockReport:
     """:func:`k_pairs_analysis` fixed at ``k = 3``.
 
     A named, picklable registry entry for ``repro.api.ALGORITHMS`` — a
     lambda there would make the registry unpicklable and leak into any
     state that captures an algorithm callable (farm workers, caches).
     """
-    return k_pairs_analysis(graph, k=3)
+    return k_pairs_analysis(graph, k=3, backend=backend)

@@ -50,11 +50,13 @@ property the NO-SYNC marking needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Set, Tuple
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 import networkx as nx
 
+from .. import obs
 from ..syncgraph.model import SyncGraph, SyncNode
 
 __all__ = ["OrderingInfo", "compute_orderings"]
@@ -69,6 +71,13 @@ class OrderingInfo:
     """
 
     precedes: Dict[SyncNode, FrozenSet[SyncNode]]
+    # Lazily built symmetric closure (forward ∪ backward per node); the
+    # refined algorithm queries sequenceable_with once per head per
+    # analysis, so the reverse map is materialized once instead of
+    # re-scanning all of ``precedes`` per query.
+    _seq_with: Optional[Dict[SyncNode, FrozenSet[SyncNode]]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def must_precede(self, a: SyncNode, b: SyncNode) -> bool:
         return b in self.precedes.get(a, frozenset())
@@ -77,11 +86,21 @@ class OrderingInfo:
         return self.must_precede(a, b) or self.must_precede(b, a)
 
     def sequenceable_with(self, a: SyncNode) -> FrozenSet[SyncNode]:
-        forward = self.precedes.get(a, frozenset())
-        backward = {
-            b for b, targets in self.precedes.items() if a in targets
-        }
-        return frozenset(forward | backward)
+        cache = self._seq_with
+        if cache is None:
+            backward: Dict[SyncNode, Set[SyncNode]] = {}
+            for b, targets in self.precedes.items():
+                for t in targets:
+                    backward.setdefault(t, set()).add(b)
+            cache = {
+                node: frozenset(
+                    self.precedes.get(node, frozenset())
+                    | backward.get(node, set())
+                )
+                for node in set(self.precedes) | set(backward)
+            }
+            self._seq_with = cache
+        return cache.get(a, frozenset())
 
     @property
     def pair_count(self) -> int:
@@ -175,51 +194,149 @@ def compute_orderings(
     completed at least once"), but the counting and transitivity
     strengthenings assume each node fires at most once and are only
     applied on acyclic control subgraphs.
+
+    The fixpoint is solved with a reverse-dependency worklist over
+    integer bitsets: a node is re-evaluated only when a fact it reads —
+    a dominator's or sync partner's REL row, or (for the transitive
+    clause) the row of a current member — actually grew, instead of the
+    reference round-robin Gauss–Seidel sweeps that re-visit every node
+    per round.  The work budget is ``max_iterations × |nodes|``
+    evaluations (the sweep equivalent); exhausting it returns the
+    partial fixpoint, which is sound (a subset of the derivable facts,
+    so strictly less pruning) but imprecise, and warns.
     """
     nodes = graph.rendezvous_nodes
+    n = len(nodes)
+    if n == 0:
+        return OrderingInfo(precedes={})
+    rid = {node: i for i, node in enumerate(nodes)}
     doms = strict_dominators(graph)
     acyclic = not graph.has_control_cycle()
 
-    # rel[x] = set of h with REL(x, h): "x completed => h completed".
-    rel: Dict[SyncNode, Set[SyncNode]] = {}
+    dom_bits = [0] * n
     for x in nodes:
-        rel[x] = {x} | set(doms[x])
+        xi = rid[x]
+        for d in doms[x]:
+            dom_bits[xi] |= 1 << rid[d]
+    partner_ids: List[Tuple[int, ...]] = [
+        tuple(rid[p] for p in graph.sync_neighbors(x)) for x in nodes
+    ]
+
+    # rel[x] = bitset of h with REL(x, h): "x completed => h completed".
+    rel = [(1 << i) | dom_bits[i] for i in range(n)]
     if acyclic:
         for x, h in _counting_seeds(graph, doms):
-            rel[x].add(h)
+            rel[rid[x]] |= 1 << rid[h]
 
-    for _ in range(max_iterations):
-        changed = False
-        for x in nodes:
-            current = rel[x]
-            before = len(current)
-            for d in doms[x]:
-                current |= rel[d]
-            partners = graph.sync_neighbors(x)
-            if partners:
-                common: Set[SyncNode] = set(rel[partners[0]])
-                for p in partners[1:]:
-                    common &= rel[p]
-                    if not common:
-                        break
-                current |= common
-            if acyclic:
-                # Transitive closure: x completed => y completed => ...
-                for y in tuple(current):
-                    current |= rel[y]
-            if len(current) != before:
-                changed = True
-        if not changed:
+    # Static reverse dependencies: when rel[y] grows, re-evaluate every
+    # x that reads rel[y] through the dominator or all-partners clause.
+    dep_static = [0] * n
+    for i in range(n):
+        bit = 1 << i
+        m = dom_bits[i]
+        while m:
+            d = (m & -m).bit_length() - 1
+            m &= m - 1
+            dep_static[d] |= bit
+        for p in partner_ids[i]:
+            dep_static[p] |= bit
+
+    # Dynamic reverse dependencies for the transitive clause:
+    # member_of[y] = bitset of x with y ∈ rel[x], maintained as rows grow.
+    member_of = [0] * n
+    for i in range(n):
+        bit = 1 << i
+        m = rel[i]
+        while m:
+            y = (m & -m).bit_length() - 1
+            m &= m - 1
+            member_of[y] |= bit
+
+    budget = max_iterations * n
+    steps = 0
+    exhausted = False
+    worklist = (1 << n) - 1
+    while worklist:
+        if steps >= budget:
+            exhausted = True
             break
+        x = (worklist & -worklist).bit_length() - 1
+        worklist &= worklist - 1
+        steps += 1
+        cur = rel[x]
+        new = cur
+        m = dom_bits[x]
+        while m:
+            d = (m & -m).bit_length() - 1
+            m &= m - 1
+            new |= rel[d]
+        pids = partner_ids[x]
+        if pids:
+            common = rel[pids[0]]
+            for p in pids[1:]:
+                common &= rel[p]
+                if not common:
+                    break
+            new |= common
+        if acyclic:
+            # Transitive closure: x completed => y completed => ...
+            # One pass over the pre-clause members; re-enqueueing below
+            # covers anything the new members imply.
+            m = new
+            while m:
+                y = (m & -m).bit_length() - 1
+                m &= m - 1
+                new |= rel[y]
+        if new != cur:
+            delta = new & ~cur
+            rel[x] = new
+            bitx = 1 << x
+            m = delta
+            while m:
+                y = (m & -m).bit_length() - 1
+                m &= m - 1
+                member_of[y] |= bitx
+            deps = dep_static[x]
+            if acyclic:
+                # Readers of rel[x] via transitivity, plus x itself:
+                # the rows of the members just gained are not folded in.
+                deps |= member_of[x] | bitx
+            worklist |= deps
 
-    precedes: Dict[SyncNode, Set[SyncNode]] = {n: set() for n in nodes}
-    for k in nodes:
-        reached_implies: Set[SyncNode] = set()
-        for d in doms[k]:
+    if exhausted:
+        warnings.warn(
+            f"compute_orderings exhausted its work budget "
+            f"({max_iterations} sweep-equivalents over {n} nodes) before "
+            f"convergence; returning the partial fixpoint (sound but "
+            f"imprecise — fewer SEQUENCEABLE facts, less pruning)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if obs.is_enabled():
+        obs.counter("orderings.worklist_steps").inc(steps)
+        if exhausted:
+            obs.counter("orderings.max_iterations_exhausted").inc()
+
+    precedes_bits = [0] * n
+    for k in range(n):
+        reached_implies = 0
+        m = dom_bits[k]
+        while m:
+            d = (m & -m).bit_length() - 1
+            m &= m - 1
             reached_implies |= rel[d]
-        for h in reached_implies:
-            if h is not k:
-                precedes[h].add(k)
-    return OrderingInfo(
-        precedes={a: frozenset(bs) for a, bs in precedes.items()}
-    )
+        m = reached_implies & ~(1 << k)
+        while m:
+            h = (m & -m).bit_length() - 1
+            m &= m - 1
+            precedes_bits[h] |= 1 << k
+    precedes: Dict[SyncNode, FrozenSet[SyncNode]] = {}
+    for h in range(n):
+        targets: Set[SyncNode] = set()
+        m = precedes_bits[h]
+        while m:
+            k = (m & -m).bit_length() - 1
+            m &= m - 1
+            targets.add(nodes[k])
+        precedes[nodes[h]] = frozenset(targets)
+    return OrderingInfo(precedes=precedes)

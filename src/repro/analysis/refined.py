@@ -37,6 +37,7 @@ from ..errors import AnalysisError
 from ..syncgraph.clg import CLG, CLGEdge, CLGNode, EdgeKind, build_clg
 from ..syncgraph.model import SyncGraph, SyncNode
 from .coexec import CoExecInfo, compute_coexec
+from .index import AnalysisIndex
 from .naive import project_component
 from .orderings import OrderingInfo, compute_orderings
 from .results import DeadlockEvidence, DeadlockReport, Verdict
@@ -47,7 +48,13 @@ __all__ = [
     "refined_deadlock_analysis",
     "component_for_head",
     "PRUNE_RULES",
+    "BACKENDS",
 ]
+
+# "index" runs the integer bitset kernels of repro.analysis.index;
+# "reference" runs the original set-based path, kept as the oracle the
+# differential tests compare against.
+BACKENDS = ("index", "reference")
 
 # Pruning rules, in marking order.  A node marked by several rules is
 # attributed to the first that claims it (the counters measure where
@@ -243,48 +250,96 @@ def refined_deadlock_analysis(
     coexec: Optional[CoExecInfo] = None,
     use_coaccept: bool = True,
     global_no_sync: FrozenSet[SyncNode] = frozenset(),
+    backend: str = "index",
+    index: Optional[AnalysisIndex] = None,
 ) -> DeadlockReport:
     """Algorithm 2: per-head SCC search with spurious-cycle elimination.
 
     Precomputed ``orderings``/``coexec`` may be passed in (e.g. enriched
     with external co-executability facts); otherwise the built-in
     conservative approximations are used.
+
+    ``backend`` selects the SCC/marking machinery: ``"index"`` (the
+    default) runs the bitset kernels of :class:`AnalysisIndex`,
+    ``"reference"`` the original set-based path.  Both produce
+    identical reports — verdict, evidence and stats (including the
+    pruning counters).  A prebuilt ``index`` may be shared across
+    analyses; it supersedes ``clg``/``orderings``/``coexec``.
     """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
     if graph.has_control_cycle():
         raise AnalysisError(
             "refined analysis requires acyclic control flow; apply "
             "repro.transforms.unroll.remove_loops first"
         )
-    with obs.span("refined.precompute"):
-        if clg is None:
-            clg = build_clg(graph)
-        if orderings is None:
-            orderings = compute_orderings(graph)
-        if coexec is None:
-            coexec = compute_coexec(graph)
+    with obs.span("refined.precompute", backend=backend):
+        if index is not None:
+            clg = index.clg
+            orderings = index.orderings
+            coexec = index.coexec
+        else:
+            if clg is None:
+                clg = build_clg(graph)
+            if orderings is None:
+                orderings = compute_orderings(graph)
+            if coexec is None:
+                coexec = compute_coexec(graph)
+            if backend == "index":
+                index = AnalysisIndex(
+                    graph, clg=clg, orderings=orderings, coexec=coexec
+                )
 
     observing = obs.is_enabled()
     prune_counts: Optional[Dict[str, int]] = {} if observing else None
     heads = possible_heads(graph)
     evidence: List[DeadlockEvidence] = []
-    with obs.span("refined.heads", heads=len(heads)):
-        for head in heads:
-            component = component_for_head(
-                graph,
-                clg,
-                head,
-                orderings,
-                coexec,
-                use_coaccept,
-                global_no_sync,
-                prune_counts,
-            )
-            if component is not None:
-                evidence.append(
-                    DeadlockEvidence(
-                        component=project_component(component), head=head
+    visited_total = 0
+    with obs.span("refined.heads", heads=len(heads), backend=backend):
+        if backend == "index":
+            assert index is not None
+            global_mask = index.in_mask(global_no_sync)
+            for head in heads:
+                no_sync, do_not_enter = index.head_marks(head, use_coaccept)
+                no_sync |= global_mask
+                if prune_counts is not None:
+                    index.accumulate_prune_counts(
+                        head, use_coaccept, global_mask, do_not_enter,
+                        prune_counts,
                     )
+                h_id = index.in_id[head]
+                if ((do_not_enter | no_sync) >> h_id) & 1:
+                    continue
+                ids, visited = index.cyclic_component_ids(
+                    h_id, no_sync, do_not_enter
                 )
+                visited_total += visited
+                if ids is not None:
+                    evidence.append(
+                        DeadlockEvidence(
+                            component=index.project_ids(ids), head=head
+                        )
+                    )
+        else:
+            for head in heads:
+                component = component_for_head(
+                    graph,
+                    clg,
+                    head,
+                    orderings,
+                    coexec,
+                    use_coaccept,
+                    global_no_sync,
+                    prune_counts,
+                )
+                if component is not None:
+                    evidence.append(
+                        DeadlockEvidence(
+                            component=project_component(component), head=head
+                        )
+                    )
     verdict = Verdict.CERTIFIED_FREE if not evidence else Verdict.POSSIBLE_DEADLOCK
     stats = {
         "clg_nodes": clg.node_count,
@@ -297,6 +352,8 @@ def refined_deadlock_analysis(
         obs.counter("refined.heads_examined").inc(len(heads))
         obs.counter("refined.scc_passes").inc(len(heads))
         obs.counter("refined.components_flagged").inc(len(evidence))
+        if backend == "index":
+            obs.counter("refined.tarjan_nodes_visited").inc(visited_total)
         assert prune_counts is not None
         for rule in PRUNE_RULES:
             obs.counter("refined.pruned_nodes", rule=rule).inc(

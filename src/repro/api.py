@@ -52,6 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover - farm imports api at runtime
 
 __all__ = [
     "ALGORITHMS",
+    "BACKEND_AWARE",
     "AnalysisResult",
     "analyze",
     "analyze_many",
@@ -70,6 +71,12 @@ ALGORITHMS: Dict[str, Callable[[SyncGraph], DeadlockReport]] = {
     "combined-pairs": combined_pairs_analysis,
     "k-pairs-3": k_pairs_3_analysis,
 }
+
+# Algorithms whose runner accepts the backend= kernel selector (the
+# bitset "index" backend vs the set-based "reference" oracle; see
+# docs/PERFORMANCE.md).  "naive" and "exact" have a single
+# implementation each.
+BACKEND_AWARE = frozenset(ALGORITHMS) - {"naive"}
 
 
 @dataclass
@@ -110,6 +117,7 @@ def analyze(
     algorithm: str = "refined",
     exact: bool = False,
     state_limit: int = 200_000,
+    backend: str = "index",
 ) -> AnalysisResult:
     """Run the full static pipeline on ``program``.
 
@@ -118,6 +126,12 @@ def analyze(
     exponential, for small programs only).  Loops are removed by the
     Lemma-1 double-unroll transform automatically; the report records
     whether that happened.
+
+    ``backend`` selects the analysis kernel for the refined algorithm
+    family (:data:`BACKEND_AWARE`): ``"index"`` (default) runs the
+    integer bitset kernels, ``"reference"`` the original set-based
+    oracle.  Verdicts, evidence and stats are identical; it is ignored
+    for ``"naive"`` and exact exploration.
     """
     with obs.span("analyze", algorithm=algorithm):
         with obs.span("analyze.parse"):
@@ -153,7 +167,10 @@ def analyze(
                         f"unknown algorithm {algorithm!r}; choose one of "
                         f"{sorted(ALGORITHMS)} or 'exact'"
                     ) from None
-                deadlock = runner(graph)
+                if algorithm in BACKEND_AWARE:
+                    deadlock = runner(graph, backend=backend)
+                else:
+                    deadlock = runner(graph)
         deadlock.loops_transformed = transformed
         if procedures_inlined:
             deadlock.stats["procedures_inlined"] = len(
@@ -220,14 +237,18 @@ def analyze_many(
 
 
 def certify_deadlock_free(
-    program: Union[str, Program], algorithm: str = "refined"
+    program: Union[str, Program],
+    algorithm: str = "refined",
+    backend: str = "index",
 ) -> bool:
     """True iff the chosen algorithm certifies the program deadlock-free.
 
     False means *possible* deadlock (the analyses are conservative:
     real deadlocks are never missed, but false alarms can occur).
     """
-    return analyze(program, algorithm=algorithm).deadlock.deadlock_free
+    return analyze(
+        program, algorithm=algorithm, backend=backend
+    ).deadlock.deadlock_free
 
 
 def certify_stall_free(program: Union[str, Program]) -> bool:

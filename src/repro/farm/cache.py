@@ -54,7 +54,7 @@ __all__ = [
 # Bump whenever analysis semantics change: detector logic, transforms,
 # sync-graph construction, or the shape of AnalysisResult.  Old entries
 # become unaddressable (different key), so they are never served stale.
-PIPELINE_VERSION = 1
+PIPELINE_VERSION = 2  # v2: indexed bitset analysis core (PR 4)
 
 # On-disk envelope format, independent of analysis semantics.
 CACHE_FORMAT = 1

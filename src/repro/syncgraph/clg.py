@@ -75,6 +75,7 @@ class CLG:
         self._out_node: Dict[SyncNode, CLGNode] = {}
         self._succ: Dict[CLGNode, List[CLGEdge]] = {self.b: [], self.e: []}
         self._pred: Dict[CLGNode, List[CLGEdge]] = {self.b: [], self.e: []}
+        self._node_index: Optional[Dict[CLGNode, int]] = None
 
     # -- construction ----------------------------------------------------
 
@@ -120,6 +121,19 @@ class CLG:
     def edges(self) -> Iterator[CLGEdge]:
         for edges in self._succ.values():
             yield from edges
+
+    @property
+    def node_index(self) -> Dict[CLGNode, int]:
+        """Dense construction-order id per node (``b``=0, ``e``=1, then
+        the ``r_i``/``r_o`` pairs in sync-graph order).
+
+        Cached; rebuilt if nodes were added since the last call.
+        """
+        cached = self._node_index
+        if cached is None or len(cached) != len(self._nodes):
+            cached = {node: i for i, node in enumerate(self._nodes)}
+            self._node_index = cached
+        return cached
 
     @property
     def node_count(self) -> int:
