@@ -1,0 +1,185 @@
+"""Indexed wave engine vs the reference exact-exploration oracle.
+
+Runs ``explore`` with ``backend="index"`` and ``backend="reference"``
+over two scaling families with genuinely exponential wave spaces —
+dining philosophers (deadlocking) and barrier synchronization
+(deadlock-free) — plus the bundled paper corpus, asserting bit-exact
+parity everywhere: same ``visited_count``, ``can_terminate``, anomaly
+classifications in the same order, and identical witness schedules.
+The shape to reproduce: the packed-integer engine wins at every size,
+by at least 3x at the largest size of each family (dedup over ints,
+O(1) terminal checks, and precomputed successor deltas replace Wave
+allocation + tuple hashing in the innermost loop of the search).
+Headline numbers land in ``BENCH_explore.json``.
+
+Setting ``REPRO_PERF_SMOKE=1`` (the CI perf-smoke job) shrinks the
+families so the whole run stays under a minute on shared runners; the
+3x floor is only asserted at full size, but "indexed never slower"
+holds in both modes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _util import print_table, write_bench_json
+from repro.syncgraph.build import build_sync_graph
+from repro.transforms.unroll import remove_loops
+from repro.waves.engine import WaveIndex
+from repro.waves.explore import explore
+from repro.waves.witness import find_anomaly_witness
+from repro.workloads.corpus import paper_corpus
+from repro.workloads.patterns import barrier, dining_philosophers
+
+SMOKE = os.environ.get("REPRO_PERF_SMOKE") == "1"
+DINING_SIZES = (3, 4) if SMOKE else (3, 4, 5, 6)
+BARRIER_SIZES = (4, 6) if SMOKE else (4, 6, 8, 10)
+STATE_LIMIT = 1_000_000
+ROUNDS = 3  # timing repetitions; best-of to shed scheduler noise
+SPEEDUP_FLOOR = 3.0  # acceptance: indexed >= 3x at the largest size
+
+
+def _graph(program):
+    transformed, _ = remove_loops(program)
+    return build_sync_graph(transformed)
+
+
+def _families():
+    for n in DINING_SIZES:
+        yield ("dining", n, _graph(dining_philosophers(n, True)))
+    for n in BARRIER_SIZES:
+        yield ("barrier", n, _graph(barrier(n)))
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _fingerprint(result):
+    return (
+        result.visited_count,
+        result.can_terminate,
+        result.limited,
+        [(c.wave, c.stalls, c.deadlocks) for c in result.anomalous],
+    )
+
+
+def test_explore_engine_speedup(benchmark):
+    rows = []
+    results = []
+    for family, size, graph in _families():
+
+        def run_index():
+            # Engine construction is charged to the index side: the
+            # comparison is end-to-end per exploration.
+            return explore(graph, STATE_LIMIT, backend="index")
+
+        def run_reference():
+            return explore(graph, STATE_LIMIT, backend="reference")
+
+        index_s, index_result = _best_of(run_index)
+        ref_s, ref_result = _best_of(run_reference)
+
+        assert _fingerprint(index_result) == _fingerprint(ref_result)
+        assert index_result.exhaustive
+        assert index_result.has_deadlock == (family == "dining")
+
+        speedup = ref_s / index_s
+        rows.append(
+            (
+                f"{family}({size})",
+                index_result.visited_count,
+                f"{index_s * 1e3:.2f}",
+                f"{ref_s * 1e3:.2f}",
+                f"{speedup:.2f}x",
+            )
+        )
+        results.append(
+            {
+                "family": family,
+                "size": size,
+                "feasible_waves": index_result.visited_count,
+                "index_s": round(index_s, 6),
+                "reference_s": round(ref_s, 6),
+                "speedup": round(speedup, 3),
+            }
+        )
+
+    print_table(
+        "Exact exploration: indexed wave engine vs reference oracle",
+        ["case", "waves", "index ms", "reference ms", "speedup"],
+        rows,
+    )
+
+    # The indexed engine must never lose; at the largest size of each
+    # family it must clear the acceptance floor.
+    for entry in results:
+        assert entry["speedup"] >= 1.0, entry
+    if not SMOKE:
+        for family, sizes in (
+            ("dining", DINING_SIZES),
+            ("barrier", BARRIER_SIZES),
+        ):
+            largest = next(
+                e
+                for e in results
+                if e["family"] == family and e["size"] == max(sizes)
+            )
+            assert largest["speedup"] >= SPEEDUP_FLOOR, largest
+
+    # Witness parity on the deadlocking family: identical shortest
+    # schedules from both kernels.
+    for n in DINING_SIZES:
+        graph = _graph(dining_philosophers(n, True))
+        index_w = find_anomaly_witness(
+            graph, kind="deadlock", state_limit=STATE_LIMIT,
+            backend="index",
+        )
+        ref_w = find_anomaly_witness(
+            graph, kind="deadlock", state_limit=STATE_LIMIT,
+            backend="reference",
+        )
+        assert index_w is not None and ref_w is not None
+        assert index_w.schedule == ref_w.schedule
+        assert index_w.waves == ref_w.waves
+
+    # Corpus sweep: bit-exact exploration on every bundled paper
+    # program.
+    corpus_cases = 0
+    for entry in paper_corpus().values():
+        graph = _graph(entry.program)
+        index_result = explore(graph, STATE_LIMIT, backend="index")
+        ref_result = explore(graph, STATE_LIMIT, backend="reference")
+        assert _fingerprint(index_result) == _fingerprint(ref_result), (
+            entry.name
+        )
+        corpus_cases += 1
+
+    def timed_scenario():
+        # One representative case under pytest-benchmark so the run
+        # shows up in --benchmark-only output (engine prebuilt once,
+        # as a long-lived caller would hold it).
+        graph = _graph(dining_philosophers(DINING_SIZES[-1], True))
+        engine = WaveIndex(graph)
+        return explore(graph, STATE_LIMIT, backend="index", engine=engine)
+
+    benchmark.pedantic(timed_scenario, rounds=1, iterations=1)
+
+    write_bench_json(
+        "BENCH_explore.json",
+        {
+            "smoke": SMOKE,
+            "rounds_best_of": ROUNDS,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "state_limit": STATE_LIMIT,
+            "corpus_cases_checked": corpus_cases,
+            "cases": results,
+        },
+    )

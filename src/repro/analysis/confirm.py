@@ -8,7 +8,14 @@ real-world-sized programs:
   schedule;
 * exhausting the wave space without an anomaly *disproves* the report
   (the alarm was false) — the program is certified after all;
-* hitting the state budget leaves the verdict **possible**, faithfully.
+* hitting the state budget leaves the verdict **possible**, faithfully
+  — *unless* a deadlock wave was already discovered within the budget,
+  in which case the search still returns its witness and the verdict is
+  CONFIRMED (budget-faithful search keeps partial findings instead of
+  discarding them).
+
+The search runs on the indexed wave engine by default
+(``backend="index"``; see :mod:`repro.waves.engine`).
 
 This is a practical layer on top of the paper: it composes the paper's
 cheap certification with its own exact semantics as an escalation path.
@@ -62,10 +69,12 @@ def confirm_deadlock_report(
     graph: SyncGraph,
     report: DeadlockReport,
     state_limit: int = 100_000,
+    backend: str = "index",
 ) -> ConfirmedReport:
     """Attempt to confirm or refute a possible-deadlock report.
 
     Does nothing when the report already certifies the program.
+    ``backend`` selects the wave-search kernel (bit-exact either way).
     """
     if report.deadlock_free:
         return ConfirmedReport(
@@ -75,7 +84,8 @@ def confirm_deadlock_report(
         )
     try:
         witness = find_anomaly_witness(
-            graph, kind="deadlock", state_limit=state_limit
+            graph, kind="deadlock", state_limit=state_limit,
+            backend=backend,
         )
     except ExplorationLimitError:
         return ConfirmedReport(

@@ -128,10 +128,15 @@ def analyze(
     whether that happened.
 
     ``backend`` selects the analysis kernel for the refined algorithm
-    family (:data:`BACKEND_AWARE`): ``"index"`` (default) runs the
-    integer bitset kernels, ``"reference"`` the original set-based
-    oracle.  Verdicts, evidence and stats are identical; it is ignored
-    for ``"naive"`` and exact exploration.
+    family (:data:`BACKEND_AWARE`) **and** for exact exploration:
+    ``"index"`` (default) runs the integer bitset / packed-wave
+    kernels, ``"reference"`` the original set-based oracles.  Verdicts,
+    evidence and stats are identical; it is ignored for ``"naive"``.
+
+    The exact path is budget-faithful: exhausting ``state_limit`` no
+    longer raises — the report conservatively stays
+    ``possible-deadlock`` with ``stats["exploration_limited"]`` set,
+    and any deadlock wave found before exhaustion still counts.
     """
     with obs.span("analyze", algorithm=algorithm):
         with obs.span("analyze.parse"):
@@ -149,15 +154,25 @@ def analyze(
 
         with obs.span("analyze.deadlock", algorithm=algorithm):
             if exact or algorithm == "exact":
-                result = explore(graph, state_limit=state_limit)
+                result = explore(
+                    graph,
+                    state_limit=state_limit,
+                    backend=backend,
+                    on_limit="partial",
+                )
+                # A limited run that found no deadlock proves nothing:
+                # stay conservative instead of certifying blind.
                 deadlock = DeadlockReport(
                     verdict=(
                         Verdict.POSSIBLE_DEADLOCK
-                        if result.has_deadlock
+                        if result.has_deadlock or result.limited
                         else Verdict.CERTIFIED_FREE
                     ),
                     algorithm="exact-waves",
-                    stats={"feasible_waves": result.visited_count},
+                    stats={
+                        "feasible_waves": result.visited_count,
+                        "exploration_limited": result.limited,
+                    },
                 )
             else:
                 try:
@@ -206,6 +221,7 @@ def analyze_many(
     jobs: int = 1,
     timeout: Optional[float] = None,
     cache: Union["ResultCache", str, Path, bool, None] = None,
+    backend: str = "index",
 ) -> "BatchReport":
     """Analyze many programs through the batch farm.
 
@@ -233,6 +249,7 @@ def analyze_many(
         jobs=jobs,
         timeout=timeout,
         cache=cache,
+        backend=backend,
     )
 
 

@@ -102,6 +102,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--backend",
+        default="index",
+        choices=["index", "reference"],
+        help=(
+            "analysis kernel: the indexed bitset/packed-wave engines "
+            "(default) or the set-based reference oracles; verdicts "
+            "are bit-exact either way"
+        ),
+    )
+    parser.add_argument(
         "--lint",
         action="store_true",
         help=(
@@ -297,6 +307,7 @@ def _batch_main(args) -> int:
             jobs=args.jobs,
             timeout=args.timeout,
             cache=False if args.no_cache else (args.cache_dir or True),
+            backend=args.backend,
         )
     except _ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -362,7 +373,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     try:
         result = analyze(
-            source, algorithm=args.algorithm, state_limit=args.state_limit
+            source,
+            algorithm=args.algorithm,
+            state_limit=args.state_limit,
+            backend=args.backend,
         )
         simulation = (
             sample_runs(result.program, runs=args.simulate)
@@ -374,6 +388,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 result.sync_graph,
                 result.deadlock,
                 state_limit=args.state_limit,
+                backend=args.backend,
             )
             if args.confirm
             else None

@@ -53,19 +53,41 @@ class AnalysisError(ReproError):
     """Raised when a static analysis is handed input it cannot process."""
 
 
+class UnknownTaskError(ReproError):
+    """Raised when a task name does not belong to the sync graph.
+
+    Replaces the bare ``ValueError`` that ``list.index`` used to leak
+    out of :meth:`repro.waves.wave.Wave.position_of`.
+    """
+
+    def __init__(self, task: str, known: tuple) -> None:
+        super().__init__(
+            f"unknown task {task!r}; sync graph tasks are {list(known)}"
+        )
+        self.task = task
+        self.known = known
+
+
 class ExplorationLimitError(ReproError):
     """Raised when exhaustive wave exploration exceeds its state budget.
 
     Exhaustive exploration is exponential (the point of the paper); the
     limit keeps the exact baseline usable as a test oracle on small
     programs while failing loudly instead of hanging on large ones.
+
+    ``result`` carries everything learned before the budget ran out (an
+    :class:`~repro.waves.explore.ExplorationResult` with
+    ``limited=True``) when the raising search tracked partials, else
+    ``None``.  Anomalies found before exhaustion are definite; absence
+    of anomalies and a ``False`` ``can_terminate`` are inconclusive.
     """
 
-    def __init__(self, limit: int) -> None:
+    def __init__(self, limit: int, result: object = None) -> None:
         super().__init__(
             f"feasible-wave exploration exceeded the budget of {limit} states"
         )
         self.limit = limit
+        self.result = result
 
 
 class SimulationError(ReproError):

@@ -54,7 +54,10 @@ __all__ = [
 # Bump whenever analysis semantics change: detector logic, transforms,
 # sync-graph construction, or the shape of AnalysisResult.  Old entries
 # become unaddressable (different key), so they are never served stale.
-PIPELINE_VERSION = 2  # v2: indexed bitset analysis core (PR 4)
+# v3: budget-faithful exact exploration — analyze(exact=...) now returns
+# a partial possible-deadlock report with stats["exploration_limited"]
+# instead of raising on budget exhaustion (PR 5).
+PIPELINE_VERSION = 3
 
 # On-disk envelope format, independent of analysis semantics.
 CACHE_FORMAT = 1

@@ -74,6 +74,7 @@ class WorkItem:
     algorithm: str = "refined"
     exact: bool = False
     state_limit: int = 200_000
+    backend: str = "index"
 
 
 @dataclass
@@ -128,6 +129,7 @@ def analyze_item(item: WorkItem) -> WorkOutcome:
             algorithm=item.algorithm,
             exact=item.exact,
             state_limit=item.state_limit,
+            backend=item.backend,
         )
         return WorkOutcome(
             label=item.label,

@@ -229,6 +229,7 @@ def run_batch(
     jobs: int = 1,
     timeout: Optional[float] = None,
     cache: Union[ResultCache, str, Path, bool, None] = None,
+    backend: str = "index",
 ) -> BatchReport:
     """Analyze many programs with caching and parallelism.
 
@@ -240,6 +241,11 @@ def run_batch(
     disable caching.  Verdicts are identical to calling
     :func:`repro.api.analyze` per program — the farm only changes how
     the work is scheduled and memoised.
+
+    ``backend`` picks the analysis kernel (see
+    :data:`repro.api.BACKEND_AWARE`).  It is deliberately *not* part of
+    the cache key: both kernels are bit-exact, so their results are
+    interchangeable cache entries.
     """
     started = time.perf_counter()
     result_cache = _coerce_cache(cache)
@@ -282,6 +288,7 @@ def run_batch(
                         algorithm=algorithm,
                         exact=exact,
                         state_limit=state_limit,
+                        backend=backend,
                     ),
                     key,
                 )

@@ -22,6 +22,7 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tup
 import networkx as nx
 
 from ..cfg.graph import CFGNode
+from ..errors import UnknownTaskError
 from ..lang.ast_nodes import Signal
 
 __all__ = ["SyncNode", "SyncGraph", "SIGN_SEND", "SIGN_ACCEPT"]
@@ -86,6 +87,9 @@ class SyncGraph:
 
     def __init__(self, tasks: Sequence[str]) -> None:
         self.tasks: Tuple[str, ...] = tuple(tasks)
+        self._task_index: Dict[str, int] = {
+            t: i for i, t in enumerate(self.tasks)
+        }
         self._nodes: List[SyncNode] = []
         self.b = self._make_node("b", label="b")
         self.e = self._make_node("e", label="e")
@@ -196,6 +200,17 @@ class SyncGraph:
     @property
     def rendezvous_nodes(self) -> Tuple[SyncNode, ...]:
         return tuple(n for n in self._nodes if n.is_rendezvous)
+
+    def task_index(self, task: str) -> int:
+        """Dense position of ``task`` in :attr:`tasks` (cached map).
+
+        Raises :class:`~repro.errors.UnknownTaskError` for names outside
+        the graph instead of leaking ``ValueError``/``KeyError``.
+        """
+        try:
+            return self._task_index[task]
+        except KeyError:
+            raise UnknownTaskError(task, self.tasks) from None
 
     def nodes_of_task(self, task: str) -> Tuple[SyncNode, ...]:
         return tuple(self._by_task[task])

@@ -9,6 +9,7 @@ from .anomaly import (
 )
 from .coupling import coupled_to, coupling_graph, transitively_coupled_sets
 from .dot import wave_graph_to_dot
+from .engine import BACKENDS, WaveIndex
 from .explore import (
     DEFAULT_STATE_LIMIT,
     ExplorationResult,
@@ -19,6 +20,7 @@ from .explore import (
 from .wave import (
     Wave,
     initial_waves,
+    iter_initial_waves,
     next_waves,
     next_waves_with_events,
     ready_pairs,
@@ -27,9 +29,11 @@ from .states import NodeState, StateSnapshot, label_wave, trace_states
 from .witness import AnomalyWitness, find_anomaly_witness
 
 __all__ = [
+    "BACKENDS",
     "DEFAULT_STATE_LIMIT",
     "ExplorationResult",
     "AnomalyWitness",
+    "WaveIndex",
     "NodeState",
     "StateSnapshot",
     "Wave",
@@ -42,6 +46,7 @@ __all__ = [
     "exact_deadlock",
     "explore",
     "initial_waves",
+    "iter_initial_waves",
     "is_anomalous",
     "label_wave",
     "find_anomaly_witness",

@@ -10,23 +10,49 @@ exponential comparator in the scaling benchmarks.
 
 Waves are memoized, so exploration terminates even when the sync graph
 has control cycles (source loops): the wave vector space is finite.
+
+Two kernels run the same search (see :data:`repro.waves.engine.BACKENDS`):
+
+* ``backend="index"`` (default) — the packed-integer
+  :class:`~repro.waves.engine.WaveIndex` engine;
+* ``backend="reference"`` — the original tuple-of-nodes oracle below.
+
+Both are bit-exact: same ``visited_count``, ``can_terminate``, anomaly
+classifications (in the same order), and budget behavior.
+
+Exploration is *budget-faithful*: ``state_limit`` is enforced during
+seeding (the initial cross product can be exponentially wide on its
+own) as well as expansion, and when the budget runs out everything
+already discovered is still classified — the partial
+:class:`ExplorationResult` (``limited=True``) is attached to the raised
+:class:`~repro.errors.ExplorationLimitError`, or returned directly with
+``on_limit="partial"``.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import FrozenSet, List, Optional, Set, Tuple
 
 from .. import obs
 from ..errors import ExplorationLimitError
 from ..syncgraph.model import SyncGraph, SyncNode
-from .anomaly import WaveClassification, classify_wave, is_anomalous
-from .wave import Wave, initial_waves, next_waves
+from .anomaly import WaveClassification, classify_wave
+from .engine import BACKENDS, WaveIndex
+from .wave import Wave, _advance_options, iter_initial_waves, ready_pairs
 
-__all__ = ["ExplorationResult", "explore", "exact_deadlock", "exact_anomaly"]
+__all__ = [
+    "BACKENDS",
+    "ExplorationResult",
+    "explore",
+    "exact_deadlock",
+    "exact_anomaly",
+]
 
 DEFAULT_STATE_LIMIT = 200_000
+
+ON_LIMIT_MODES = ("raise", "partial")
 
 
 @dataclass
@@ -36,12 +62,20 @@ class ExplorationResult:
     ``anomalous`` holds the classification of every anomalous feasible
     wave.  ``can_terminate`` is True when some feasible wave has every
     task at ``e``.
+
+    ``limited`` marks a run that exhausted ``state_limit``: the result
+    is then a *partial* truth — anomalies listed and
+    ``can_terminate=True`` are definite (every classified wave is
+    genuinely reachable), but absence of anomalies and
+    ``can_terminate=False`` are inconclusive.
     """
 
     graph: SyncGraph
     visited_count: int
     anomalous: List[WaveClassification] = field(default_factory=list)
     can_terminate: bool = False
+    limited: bool = False
+    state_limit: Optional[int] = None
 
     @property
     def has_anomaly(self) -> bool:
@@ -63,6 +97,11 @@ class ExplorationResult:
     def stall_waves(self) -> List[WaveClassification]:
         return [c for c in self.anomalous if c.has_stall]
 
+    @property
+    def exhaustive(self) -> bool:
+        """True when the whole reachable wave space was enumerated."""
+        return not self.limited
+
     def deadlock_head_nodes(self) -> FrozenSet[SyncNode]:
         """Union of all deadlock-set members over all feasible waves."""
         heads: Set[SyncNode] = set()
@@ -75,45 +114,116 @@ class ExplorationResult:
 def explore(
     graph: SyncGraph,
     state_limit: int = DEFAULT_STATE_LIMIT,
+    backend: str = "index",
+    engine: Optional[WaveIndex] = None,
+    on_limit: str = "raise",
 ) -> ExplorationResult:
     """Enumerate ``NextWavesSet*(W_INIT)`` and classify anomalies.
 
-    Raises :class:`~repro.errors.ExplorationLimitError` when more than
-    ``state_limit`` distinct waves are reached.
+    ``backend`` selects the search kernel (``"index"`` packed-int
+    engine, ``"reference"`` oracle; bit-exact either way).  ``engine``
+    optionally reuses a prebuilt :class:`WaveIndex`.
+
+    When more than ``state_limit`` distinct waves are reached the
+    search stops discovering but still classifies everything already in
+    hand; ``on_limit="raise"`` (default) then raises
+    :class:`~repro.errors.ExplorationLimitError` with the partial
+    result attached as ``.result``, while ``on_limit="partial"``
+    returns the partial :class:`ExplorationResult` (``limited=True``).
     """
-    result = ExplorationResult(graph=graph, visited_count=0)
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose one of {BACKENDS}"
+        )
+    if on_limit not in ON_LIMIT_MODES:
+        raise ValueError(
+            f"unknown on_limit mode {on_limit!r}; "
+            f"choose one of {ON_LIMIT_MODES}"
+        )
+    with obs.span(
+        "explore", state_limit=state_limit, backend=backend
+    ) as span:
+        if backend == "index":
+            if engine is None:
+                engine = WaveIndex(graph)
+            (
+                visited_count,
+                can_terminate,
+                anomalous,
+                limited,
+                frontier_peak,
+            ) = engine.explore(state_limit)
+        else:
+            (
+                visited_count,
+                can_terminate,
+                anomalous,
+                limited,
+                frontier_peak,
+            ) = _explore_reference(graph, state_limit)
+        result = ExplorationResult(
+            graph=graph,
+            visited_count=visited_count,
+            anomalous=anomalous,
+            can_terminate=can_terminate,
+            limited=limited,
+            state_limit=state_limit,
+        )
+        _record_exploration(span, visited_count, frontier_peak, limited)
+    if result.limited and on_limit == "raise":
+        raise ExplorationLimitError(state_limit, result)
+    return result
+
+
+def _explore_reference(
+    graph: SyncGraph, state_limit: int
+) -> Tuple[int, bool, List[WaveClassification], bool, int]:
+    """The tuple-of-nodes oracle kernel (same contract as
+    :meth:`WaveIndex.explore`)."""
     visited: Set[Wave] = set()
-    queue: deque[Wave] = deque()
+    queue: deque = deque()
+    limited = False
+    for wave in iter_initial_waves(graph):
+        if wave in visited:
+            continue
+        if len(visited) >= state_limit:
+            limited = True
+            break
+        visited.add(wave)
+        queue.append(wave)
+    can_terminate = False
+    anomalous: List[WaveClassification] = []
     frontier_peak = 0
-    with obs.span("explore", state_limit=state_limit) as span:
-        for wave in initial_waves(graph):
-            if wave not in visited:
-                visited.add(wave)
-                queue.append(wave)
-        while queue:
-            if len(queue) > frontier_peak:
-                frontier_peak = len(queue)
-            wave = queue.popleft()
-            if wave.is_terminal(graph):
-                result.can_terminate = True
-                continue
-            if is_anomalous(graph, wave):
-                result.anomalous.append(classify_wave(graph, wave))
-                continue
-            for nxt in next_waves(graph, wave):
-                if nxt not in visited:
+    while queue:
+        if len(queue) > frontier_peak:
+            frontier_peak = len(queue)
+        wave = queue.popleft()
+        if wave.is_terminal(graph):
+            can_terminate = True
+            continue
+        pairs = ready_pairs(graph, wave)
+        if not pairs:
+            if wave.real_nodes():
+                anomalous.append(classify_wave(graph, wave))
+            continue
+        if limited:
+            continue  # budget spent: classify what we have, no growth
+        for i, j in pairs:
+            for succ_i in _advance_options(graph, wave.positions[i]):
+                for succ_j in _advance_options(graph, wave.positions[j]):
+                    nxt = wave.replace(i, succ_i).replace(j, succ_j)
+                    if nxt in visited:
+                        continue
                     if len(visited) >= state_limit:
-                        _record_exploration(
-                            span, len(visited), frontier_peak, limited=True
-                        )
-                        raise ExplorationLimitError(state_limit)
+                        limited = True
+                        break
                     visited.add(nxt)
                     queue.append(nxt)
-        result.visited_count = len(visited)
-        _record_exploration(
-            span, result.visited_count, frontier_peak, limited=False
-        )
-    return result
+                if limited:
+                    break
+            if limited:
+                break
+    return len(visited), can_terminate, anomalous, limited, frontier_peak
 
 
 def _record_exploration(
@@ -131,11 +241,19 @@ def _record_exploration(
         obs.counter("explore.state_limit_hits").inc()
 
 
-def exact_deadlock(graph: SyncGraph, state_limit: int = DEFAULT_STATE_LIMIT) -> bool:
+def exact_deadlock(
+    graph: SyncGraph,
+    state_limit: int = DEFAULT_STATE_LIMIT,
+    backend: str = "index",
+) -> bool:
     """True iff some feasible wave exhibits a deadlock anomaly."""
-    return explore(graph, state_limit).has_deadlock
+    return explore(graph, state_limit, backend=backend).has_deadlock
 
 
-def exact_anomaly(graph: SyncGraph, state_limit: int = DEFAULT_STATE_LIMIT) -> bool:
+def exact_anomaly(
+    graph: SyncGraph,
+    state_limit: int = DEFAULT_STATE_LIMIT,
+    backend: str = "index",
+) -> bool:
     """True iff some feasible wave is anomalous (stall or deadlock)."""
-    return explore(graph, state_limit).has_anomaly
+    return explore(graph, state_limit, backend=backend).has_anomaly

@@ -20,7 +20,8 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 
 from ..syncgraph.model import SyncGraph, SyncNode
 
-__all__ = ["Wave", "initial_waves", "next_waves", "next_waves_with_events", "ready_pairs"]
+__all__ = ["Wave", "initial_waves", "iter_initial_waves", "next_waves",
+           "next_waves_with_events", "ready_pairs"]
 
 
 @dataclass(frozen=True)
@@ -36,7 +37,13 @@ class Wave:
     positions: Tuple[SyncNode, ...]
 
     def position_of(self, graph: SyncGraph, task: str) -> SyncNode:
-        return self.positions[graph.tasks.index(task)]
+        """This task's wave entry.
+
+        Uses the graph's cached task→index map (no linear scan per
+        call); an unknown task raises
+        :class:`~repro.errors.UnknownTaskError`.
+        """
+        return self.positions[graph.task_index(task)]
 
     def replace(self, index: int, node: SyncNode) -> "Wave":
         positions = list(self.positions)
@@ -55,14 +62,13 @@ class Wave:
         return "<" + ", ".join(str(p) for p in self.positions) + ">"
 
 
-def initial_waves(graph: SyncGraph) -> List[Wave]:
-    """All initial waves ``W_INIT``.
+def iter_initial_waves(graph: SyncGraph) -> Iterator[Wave]:
+    """Lazy ``W_INIT``: the per-task-option cross product, one wave at
+    a time.
 
-    For each task, the entry is one of its first-reachable rendezvous
-    points (the control successors of ``b`` in that task) or ``e`` when
-    the task has a rendezvous-free path.  The nondeterministic choice
-    models conditional branching at task entry, so the set of initial
-    waves is the cross product of the per-task options.
+    The product can be exponentially wide on its own, so exploration
+    consumes this stream under its state budget instead of
+    materializing the full list first.
     """
     options: List[Sequence[SyncNode]] = []
     for task in graph.tasks:
@@ -73,7 +79,20 @@ def initial_waves(graph: SyncGraph) -> List[Wave]:
                 "sync graph construction is incomplete"
             )
         options.append(opts)
-    return [Wave(tuple(combo)) for combo in product(*options)]
+    for combo in product(*options):
+        yield Wave(tuple(combo))
+
+
+def initial_waves(graph: SyncGraph) -> List[Wave]:
+    """All initial waves ``W_INIT``.
+
+    For each task, the entry is one of its first-reachable rendezvous
+    points (the control successors of ``b`` in that task) or ``e`` when
+    the task has a rendezvous-free path.  The nondeterministic choice
+    models conditional branching at task entry, so the set of initial
+    waves is the cross product of the per-task options.
+    """
+    return list(iter_initial_waves(graph))
 
 
 def ready_pairs(graph: SyncGraph, wave: Wave) -> List[Tuple[int, int]]:
@@ -101,6 +120,11 @@ def _advance_options(graph: SyncGraph, node: SyncNode) -> Tuple[SyncNode, ...]:
     succs = graph.control_successors(node)
     if not succs:
         raise ValueError(f"rendezvous node {node} has no control successor")
+    if len(set(succs)) != len(succs):
+        # Hand-built graphs can register the same successor twice;
+        # duplicated options would make NextWaves yield the same
+        # (event, wave) repeatedly.
+        succs = tuple(dict.fromkeys(succs))
     return succs
 
 
@@ -111,6 +135,8 @@ def next_waves_with_events(
 
     Yields ``((r, s), W')`` where ``{r, s}`` is the sync edge executed;
     used by witness extraction to reconstruct concrete schedules.
+    Each ``((r, s), W')`` is yielded at most once per call even when
+    branch successors coincide.
     """
     for i, j in ready_pairs(graph, wave):
         fired = (wave.positions[i], wave.positions[j])

@@ -6,6 +6,16 @@ program start, after which no pair of waiting tasks can ever proceed.
 Witnesses are found by breadth-first search over the wave space (so the
 schedule is shortest) with parent tracking — exponential like all exact
 analyses, bounded by a state budget.
+
+Like :mod:`repro.waves.explore`, the search runs on either kernel
+(``backend="index"`` packed-int engine, ``backend="reference"``
+oracle) with bit-exact witnesses, and is budget-faithful: the state
+budget is enforced during seeding, and when it runs out the queue is
+still drained — an anomalous wave discovered *before* exhaustion still
+yields its witness, so downstream confirmation can answer CONFIRMED
+instead of throwing the evidence away.  Only when no discovered wave
+matches does a limited search raise
+:class:`~repro.errors.ExplorationLimitError`.
 """
 
 from __future__ import annotations
@@ -18,7 +28,8 @@ from .. import obs
 from ..errors import ExplorationLimitError
 from ..syncgraph.model import SyncGraph, SyncNode
 from .anomaly import WaveClassification, classify_wave, is_anomalous
-from .wave import Wave, initial_waves, next_waves_with_events
+from .engine import BACKENDS, WaveIndex
+from .wave import Wave, iter_initial_waves, next_waves_with_events
 
 __all__ = ["AnomalyWitness", "find_anomaly_witness"]
 
@@ -68,23 +79,25 @@ def find_anomaly_witness(
     graph: SyncGraph,
     kind: str = "deadlock",
     state_limit: int = 200_000,
+    backend: str = "index",
+    engine: Optional[WaveIndex] = None,
 ) -> Optional[AnomalyWitness]:
     """Shortest witness of an anomaly of the requested kind, or None.
 
     ``kind`` is ``"deadlock"``, ``"stall"`` or ``"any"``.  Returns None
     when no reachable wave exhibits the anomaly (which, for
     ``"deadlock"``, proves deadlock-freedom of the explored space).
-    Raises :class:`ExplorationLimitError` past the state budget.
+    Raises :class:`ExplorationLimitError` only when the state budget is
+    exhausted *and* no matching anomaly was discovered first — a
+    witness found within budget is returned even if the search could
+    not finish.
     """
     if kind not in ("deadlock", "stall", "any"):
         raise ValueError(f"unknown anomaly kind {kind!r}")
-
-    parents: Dict[Wave, Optional[Tuple[Wave, Rendezvous]]] = {}
-    queue: deque[Wave] = deque()
-    for wave in initial_waves(graph):
-        if wave not in parents:
-            parents[wave] = None
-            queue.append(wave)
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose one of {BACKENDS}"
+        )
 
     def matches(classification: WaveClassification) -> bool:
         if kind == "deadlock":
@@ -93,42 +106,95 @@ def find_anomaly_witness(
             return classification.has_stall
         return True
 
-    with obs.span("witness.search", kind=kind, state_limit=state_limit) as sp:
-        try:
-            while queue:
-                wave = queue.popleft()
-                if wave.is_terminal(graph):
-                    continue
-                if is_anomalous(graph, wave):
-                    classification = classify_wave(graph, wave)
-                    if not matches(classification):
-                        continue
-                    schedule: List[Rendezvous] = []
-                    chain: List[Wave] = [wave]
-                    cursor = wave
-                    while True:
-                        parent = parents[cursor]
-                        if parent is None:
-                            break
-                        cursor, event = parent
-                        schedule.append(event)
-                        chain.append(cursor)
-                    schedule.reverse()
-                    chain.reverse()
-                    return AnomalyWitness(
-                        initial=cursor,
-                        schedule=tuple(schedule),
-                        waves=tuple(chain),
-                        classification=classification,
-                    )
-                for event, nxt in next_waves_with_events(graph, wave):
-                    if nxt not in parents:
-                        if len(parents) >= state_limit:
-                            obs.counter("witness.state_limit_hits").inc()
-                            raise ExplorationLimitError(state_limit)
-                        parents[nxt] = (wave, event)
-                        queue.append(nxt)
-            return None
-        finally:
-            obs.counter("witness.states_visited").inc(len(parents))
-            sp.set_attribute("states", len(parents))
+    with obs.span(
+        "witness.search", kind=kind, state_limit=state_limit,
+        backend=backend,
+    ) as sp:
+        if backend == "index":
+            if engine is None:
+                engine = WaveIndex(graph)
+            data, states, limited = engine.find_witness(
+                matches, state_limit
+            )
+        else:
+            data, states, limited = _find_witness_reference(
+                graph, matches, state_limit
+            )
+        obs.counter("witness.states_visited").inc(states)
+        sp.set_attribute("states", states)
+        if limited:
+            obs.counter("witness.state_limit_hits").inc()
+            if data is not None:
+                obs.counter("witness.found_past_limit").inc()
+    if data is not None:
+        initial, schedule, waves, classification = data
+        return AnomalyWitness(
+            initial=initial,
+            schedule=schedule,
+            waves=waves,
+            classification=classification,
+        )
+    if limited:
+        raise ExplorationLimitError(state_limit)
+    return None
+
+
+def _find_witness_reference(
+    graph: SyncGraph,
+    matches,
+    state_limit: int,
+) -> Tuple[
+    Optional[Tuple[Wave, Tuple[Rendezvous, ...], Tuple[Wave, ...],
+                   WaveClassification]],
+    int,
+    bool,
+]:
+    """Oracle BFS kernel (same contract as
+    :meth:`WaveIndex.find_witness`)."""
+    parents: Dict[Wave, Optional[Tuple[Wave, Rendezvous]]] = {}
+    queue: deque = deque()
+    limited = False
+    for wave in iter_initial_waves(graph):
+        if wave in parents:
+            continue
+        if len(parents) >= state_limit:
+            limited = True
+            break
+        parents[wave] = None
+        queue.append(wave)
+    while queue:
+        wave = queue.popleft()
+        if wave.is_terminal(graph):
+            continue
+        if is_anomalous(graph, wave):
+            classification = classify_wave(graph, wave)
+            if not matches(classification):
+                continue
+            schedule: List[Rendezvous] = []
+            chain: List[Wave] = [wave]
+            cursor = wave
+            while True:
+                parent = parents[cursor]
+                if parent is None:
+                    break
+                cursor, event = parent
+                schedule.append(event)
+                chain.append(cursor)
+            schedule.reverse()
+            chain.reverse()
+            return (
+                (cursor, tuple(schedule), tuple(chain), classification),
+                len(parents),
+                limited,
+            )
+        if limited:
+            continue
+        for event, nxt in next_waves_with_events(graph, wave):
+            if nxt in parents:
+                continue
+            if len(parents) >= state_limit:
+                limited = True
+                break
+            parents[nxt] = (wave, event)
+            queue.append(nxt)
+    return None, len(parents), limited
