@@ -24,14 +24,22 @@ cheap certification with its own exact semantics as an escalation path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..errors import ExplorationLimitError
 from ..syncgraph.model import SyncGraph
 from ..waves.witness import AnomalyWitness, find_anomaly_witness
 from .results import DeadlockReport, Verdict
 
-__all__ = ["ConfirmationOutcome", "ConfirmedReport", "confirm_deadlock_report"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api -> confirm)
+    from ..api import AnalysisResult
+
+__all__ = [
+    "ConfirmationOutcome",
+    "ConfirmedReport",
+    "confirm_deadlock_report",
+    "confirm_analysis",
+]
 
 
 class ConfirmationOutcome:
@@ -39,6 +47,11 @@ class ConfirmationOutcome:
     REFUTED = "false-alarm-refuted"
     INCONCLUSIVE = "inconclusive-budget-exhausted"
     NOT_NEEDED = "not-needed-already-certified"
+    # No witness exists in the *unrolled* graph, but the Lemma-1 guarded
+    # copies bound loop iterations, so absence there does not refute a
+    # deadlock needing more iterations.  Use :func:`confirm_analysis`
+    # (which searches the pre-unroll graph) for a definitive answer.
+    UNROLL_LIMITED = "refuted-modulo-loop-unroll"
 
 
 @dataclass
@@ -70,12 +83,23 @@ def confirm_deadlock_report(
     report: DeadlockReport,
     state_limit: int = 100_000,
     backend: str = "index",
+    loop_faithful: Optional[bool] = None,
 ) -> ConfirmedReport:
     """Attempt to confirm or refute a possible-deadlock report.
 
     Does nothing when the report already certifies the program.
     ``backend`` selects the wave-search kernel (bit-exact either way).
+
+    ``loop_faithful`` states whether ``graph`` reflects the program's
+    true loop semantics.  When it does not (an approximate Lemma-1
+    unroll — inferred from ``report.stats["unroll_approximated"]`` when
+    left ``None``), an exhausted witness search yields
+    :data:`ConfirmationOutcome.UNROLL_LIMITED` instead of REFUTED: the
+    unrolled graph under-approximates loop behaviours, so absence of a
+    witness there cannot certify the program.
     """
+    if loop_faithful is None:
+        loop_faithful = not report.stats.get("unroll_approximated", False)
     if report.deadlock_free:
         return ConfirmedReport(
             report=report,
@@ -102,6 +126,40 @@ def confirm_deadlock_report(
         )
     return ConfirmedReport(
         report=report,
-        outcome=ConfirmationOutcome.REFUTED,
+        outcome=(
+            ConfirmationOutcome.REFUTED
+            if loop_faithful
+            else ConfirmationOutcome.UNROLL_LIMITED
+        ),
         states_budget=state_limit,
+    )
+
+
+def confirm_analysis(
+    result: "AnalysisResult",
+    state_limit: int = 100_000,
+    backend: str = "index",
+) -> ConfirmedReport:
+    """Confirm or refute one :func:`repro.api.analyze` result.
+
+    Unlike calling :func:`confirm_deadlock_report` on
+    ``result.sync_graph`` directly, this picks a *loop-faithful* search
+    graph: when the analysis ran on an approximate Lemma-1 unroll, the
+    witness search runs on the pre-unroll (inlined) graph instead —
+    wave memoization keeps it terminating on cyclic control flow — so
+    REFUTED outcomes genuinely certify the program.
+    """
+    graph = result.sync_graph
+    if result.deadlock.stats.get("unroll_approximated"):
+        from ..syncgraph.build import build_sync_graph
+        from ..transforms.inline import inline_procedures
+
+        inlined, _ = inline_procedures(result.program)
+        graph = build_sync_graph(inlined)
+    return confirm_deadlock_report(
+        graph,
+        result.deadlock,
+        state_limit=state_limit,
+        backend=backend,
+        loop_faithful=True,
     )

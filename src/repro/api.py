@@ -43,7 +43,7 @@ from .lang.validate import ValidationReport, validate_program
 from .syncgraph.build import build_sync_graph
 from .syncgraph.model import SyncGraph
 from .transforms.inline import inline_procedures
-from .transforms.unroll import remove_loops
+from .transforms.unroll import has_approximated_loops, remove_loops
 from .waves.explore import explore
 
 if TYPE_CHECKING:  # pragma: no cover - farm imports api at runtime
@@ -152,10 +152,21 @@ def analyze(
             graph = build_sync_graph(analyzed)
             sg_span.set_attribute("nodes", len(graph.rendezvous_nodes))
 
+        approximated = transformed and has_approximated_loops(inlined)
         with obs.span("analyze.deadlock", algorithm=algorithm):
             if exact or algorithm == "exact":
+                # The Lemma-1 guarded copies bound while-loop iterations
+                # at two, which preserves the static CLG analysis but
+                # not exact wave semantics (a deadlock needing a third
+                # iteration exists only in the original graph).  Exact
+                # search therefore runs on the pre-unroll graph when the
+                # unroll was approximate — waves are memoized, so the
+                # search still terminates on cyclic control flow.
+                exact_graph = (
+                    build_sync_graph(inlined) if approximated else graph
+                )
                 result = explore(
-                    graph,
+                    exact_graph,
                     state_limit=state_limit,
                     backend=backend,
                     on_limit="partial",
@@ -172,6 +183,7 @@ def analyze(
                     stats={
                         "feasible_waves": result.visited_count,
                         "exploration_limited": result.limited,
+                        "explored_pre_unroll_graph": approximated,
                     },
                 )
             else:
@@ -187,6 +199,12 @@ def analyze(
                 else:
                     deadlock = runner(graph)
         deadlock.loops_transformed = transformed
+        if approximated and not (exact or algorithm == "exact"):
+            # Static verdicts on a guarded-copy unroll are conservative
+            # but exact *refutation* on that graph would not be: flag it
+            # so confirmation (repro.analysis.confirm) knows the graph
+            # under-approximates loop behaviours.
+            deadlock.stats["unroll_approximated"] = True
         if procedures_inlined:
             deadlock.stats["procedures_inlined"] = len(
                 source_program.procedures

@@ -15,6 +15,9 @@ Examples::
     repro-analyze program.adl --lint --json
     repro-analyze program.adl --lint --sarif lint.sarif
     repro-analyze program.adl --lint --disable ADL009,coupling-cycle
+    repro-analyze program.adl --suggest-fixes
+    repro-analyze program.adl --suggest-fixes --json
+    repro-analyze program.adl --suggest-fixes --sarif fixes.sarif
     repro-analyze --batch corpus/ --jobs 8
     repro-analyze --batch corpus/ 'extra/*.adl' --jsonl-out report.jsonl
     repro-analyze --batch corpus/ --no-cache --timeout 30
@@ -30,7 +33,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from . import obs
-from .analysis.confirm import confirm_deadlock_report
+from .analysis.confirm import confirm_analysis
 from .api import ALGORITHMS, analyze
 from .errors import ReproError
 from .interp.runtime import sample_runs
@@ -93,6 +96,29 @@ def build_arg_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--suggest-fixes",
+        action="store_true",
+        help=(
+            "on a possible-deadlock verdict, synthesize candidate "
+            "edits from the cycle evidence, certify each by "
+            "re-analysis (with bounded exact escalation), and print "
+            "the ranked fixes as unified diffs; with --json the "
+            "report gains a 'repair' key, with --sarif the certified "
+            "fixes are attached to the deadlock diagnostics as SARIF "
+            "fix objects"
+        ),
+    )
+    parser.add_argument(
+        "--max-fixes",
+        type=int,
+        default=5,
+        metavar="N",
+        help=(
+            "with --suggest-fixes, keep at most N ranked certified "
+            "fixes (default: 5)"
+        ),
+    )
+    parser.add_argument(
         "--state-limit",
         type=int,
         default=200_000,
@@ -116,7 +142,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "run the lint rules instead of the analysis pipeline: "
-            "source-located diagnostics, no verdict"
+            "source-located diagnostics, no verdict; with --batch, "
+            "lint every item alongside the analysis and report "
+            "per-rule diagnostic counts"
         ),
     )
     parser.add_argument(
@@ -131,7 +159,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--sarif",
         metavar="FILE",
-        help="with --lint, also write a SARIF 2.1.0 report to FILE",
+        help=(
+            "write a SARIF 2.1.0 report to FILE (lint diagnostics; "
+            "with --suggest-fixes, certified fixes are attached to "
+            "the deadlock diagnostics)"
+        ),
     )
     parser.add_argument(
         "--disable",
@@ -218,12 +250,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
 
 def _report_json(
-    result, simulation, confirmation=None, stats=False, metrics=None
+    result, simulation, confirmation=None, stats=False, metrics=None,
+    repair=None,
 ) -> str:
     from .reporting import analysis_result_to_dict
 
     payload = analysis_result_to_dict(
-        result, simulation, confirmation, metrics
+        result, simulation, confirmation, metrics, repair
     )
     if stats:
         from .syncgraph.metrics import compute_metrics
@@ -240,8 +273,34 @@ def _split_rules(spec: str) -> List[str]:
     return [token.strip() for token in spec.split(",") if token.strip()]
 
 
+def _suggest_fixes(args, source: str, result=None):
+    """Run the repair pipeline; ``None`` when the program never reaches
+    a verdict (the caller's lint diagnostics already explain why)."""
+    from .repair import suggest_repairs
+
+    try:
+        return suggest_repairs(
+            source if result is None else None,
+            algorithm=(
+                args.algorithm if args.algorithm != "exact" else "refined"
+            ),
+            backend=args.backend,
+            state_limit=args.state_limit,
+            max_fixes=args.max_fixes,
+            result=result,
+        )
+    except ReproError:
+        return None
+
+
 def _lint_main(args, source: str, source_path: str) -> int:
-    from .lint import lint_source, lint_to_dict, render_text, sarif_report
+    from .lint import (
+        RepairAttachment,
+        lint_source,
+        lint_to_dict,
+        render_text,
+        sarif_report,
+    )
 
     session = obs.enable() if (args.trace or args.metrics_out) else None
     try:
@@ -250,6 +309,9 @@ def _lint_main(args, source: str, source_path: str) -> int:
             path=source_path if source_path != "-" else "stdin",
             disable=_split_rules(args.disable),
             select=_split_rules(args.select) or None,
+        )
+        repair = (
+            _suggest_fixes(args, source) if args.suggest_fixes else None
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -263,7 +325,18 @@ def _lint_main(args, source: str, source_path: str) -> int:
             obs.disable()
 
     if args.sarif:
-        doc = sarif_report([result])
+        repairs = None
+        if repair is not None and repair.fixed:
+            from .lang.parser import parse_program
+
+            repairs = {
+                result.path: RepairAttachment(
+                    program=parse_program(source),
+                    report=repair,
+                    source=source,
+                )
+            }
+        doc = sarif_report([result], repairs=repairs)
         Path(args.sarif).write_text(json.dumps(doc, indent=2) + "\n")
 
     snapshot = None
@@ -280,6 +353,13 @@ def _lint_main(args, source: str, source_path: str) -> int:
 
     if args.json:
         payload = lint_to_dict(result)
+        if repair is not None:
+            from .lang.parser import parse_program
+            from .reporting import repair_report_to_dict
+
+            payload["repair"] = repair_report_to_dict(
+                repair, original=parse_program(source)
+            )
         if snapshot is not None:
             payload["metrics"] = snapshot
         print(json.dumps(payload, indent=2))
@@ -287,6 +367,8 @@ def _lint_main(args, source: str, source_path: str) -> int:
             print(session.tracer.render(), file=sys.stderr)
     else:
         print(render_text(result))
+        if repair is not None:
+            print(repair.describe())
         if args.trace and session is not None:
             print(session.tracer.render())
 
@@ -308,6 +390,7 @@ def _batch_main(args) -> int:
             timeout=args.timeout,
             cache=False if args.no_cache else (args.cache_dir or True),
             backend=args.backend,
+            lint=args.lint,
         )
     except _ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -384,13 +467,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             else None
         )
         confirmation = (
-            confirm_deadlock_report(
-                result.sync_graph,
-                result.deadlock,
+            confirm_analysis(
+                result,
                 state_limit=args.state_limit,
                 backend=args.backend,
             )
             if args.confirm
+            else None
+        )
+        repair = (
+            _suggest_fixes(args, source, result=result)
+            if args.suggest_fixes
             else None
         )
     except ReproError as exc:
@@ -405,6 +492,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.clg_dot:
         clg = build_clg(result.sync_graph)
         Path(args.clg_dot).write_text(clg_to_dot(clg))
+    if args.sarif:
+        from .lint import RepairAttachment, lint_source, sarif_report
+
+        lint_result = lint_source(
+            source, path=source_path if source_path != "-" else "stdin"
+        )
+        repairs = None
+        if repair is not None and repair.fixed:
+            repairs = {
+                lint_result.path: RepairAttachment(
+                    program=result.program, report=repair, source=source
+                )
+            }
+        doc = sarif_report([lint_result], repairs=repairs)
+        Path(args.sarif).write_text(json.dumps(doc, indent=2) + "\n")
 
     snapshot = None
     if session is not None:
@@ -421,7 +523,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.json:
         print(
             _report_json(
-                result, simulation, confirmation, args.stats, snapshot
+                result, simulation, confirmation, args.stats, snapshot,
+                repair,
             )
         )
         if args.trace and session is not None:
@@ -440,6 +543,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"confirmation: {confirmation.outcome}")
             if confirmation.witness is not None:
                 print(confirmation.witness.describe())
+        if repair is not None:
+            from .repair import unified_fix_diff
+
+            print(repair.describe())
+            for fix in repair.fixes:
+                print()
+                diff = unified_fix_diff(
+                    result.program, fix, path=source_path
+                )
+                print(diff, end="" if diff.endswith("\n") else "\n")
 
     certified = (
         confirmation.final_verdict == "certified-deadlock-free"

@@ -57,7 +57,11 @@ __all__ = [
 # v3: budget-faithful exact exploration — analyze(exact=...) now returns
 # a partial possible-deadlock report with stats["exploration_limited"]
 # instead of raising on budget exhaustion (PR 5).
-PIPELINE_VERSION = 3
+# v4: exact exploration of loop programs walks the pre-unroll graph when
+# Lemma-1 only approximated (stats gain unroll_approximated /
+# explored_pre_unroll_graph), and lint-enabled batch entries store a
+# {"analysis", "lint_counts"} wrapper (PR 7).
+PIPELINE_VERSION = 4
 
 # On-disk envelope format, independent of analysis semantics.
 CACHE_FORMAT = 1
@@ -81,11 +85,15 @@ def cache_key(
     algorithm: str = "refined",
     state_limit: int = 200_000,
     exact: bool = False,
+    lint: bool = False,
 ) -> str:
     """Content hash addressing one analysis run.
 
-    Mirrors the :func:`repro.api.analyze` signature: everything that can
-    change the result is hashed, nothing else is.
+    Mirrors the :func:`repro.api.analyze` signature plus the farm's
+    ``lint`` switch: everything that can change the stored entry is
+    hashed, nothing else is.  Lint-enabled entries carry extra payload
+    (per-rule diagnostic counts), so they live under distinct keys
+    rather than shadowing plain analysis results.
     """
     stamp = "\n".join(
         (
@@ -93,6 +101,7 @@ def cache_key(
             f"algorithm={algorithm}",
             f"state_limit={state_limit}",
             f"exact={exact}",
+            f"lint={lint}",
             canonical_source(program),
         )
     )

@@ -67,7 +67,11 @@ _HANG_ENV = "REPRO_FARM_INJECT_HANG"
 
 @dataclass(frozen=True)
 class WorkItem:
-    """One program to analyze, fully described by picklable values."""
+    """One program to analyze, fully described by picklable values.
+
+    ``lint`` additionally runs the lint rules over the source and
+    reports per-rule diagnostic counts alongside the analysis result.
+    """
 
     label: str
     source: str
@@ -75,6 +79,7 @@ class WorkItem:
     exact: bool = False
     state_limit: int = 200_000
     backend: str = "index"
+    lint: bool = False
 
 
 @dataclass
@@ -83,7 +88,9 @@ class WorkOutcome:
 
     ``result`` is set only for ``ok``; ``error`` carries the worker
     traceback for ``failed`` and a short description for
-    ``timeout``/``crashed``.
+    ``timeout``/``crashed``.  ``lint_counts`` maps rule id to
+    diagnostic count for lint-enabled items (``{}`` when the source
+    lints clean, ``None`` when linting was off or never ran).
     """
 
     label: str
@@ -91,6 +98,7 @@ class WorkOutcome:
     result: Optional[object] = field(default=None, repr=False)
     error: Optional[str] = None
     duration_s: float = 0.0
+    lint_counts: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -131,11 +139,20 @@ def analyze_item(item: WorkItem) -> WorkOutcome:
             state_limit=item.state_limit,
             backend=item.backend,
         )
+        lint_counts = None
+        if item.lint:
+            from ..lint import lint_source
+
+            counts: Dict[str, int] = {}
+            for diag in lint_source(item.source, path=item.label).diagnostics:
+                counts[diag.rule_id] = counts.get(diag.rule_id, 0) + 1
+            lint_counts = counts
         return WorkOutcome(
             label=item.label,
             status=STATUS_OK,
             result=result,
             duration_s=time.perf_counter() - start,
+            lint_counts=lint_counts,
         )
     except Exception:
         return WorkOutcome(

@@ -22,7 +22,7 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .. import obs
 from ..errors import ReproError
@@ -51,7 +51,10 @@ __all__ = [
 # 1: initial batch schema — per-item records (label, status, cache,
 #    duration_s, program, deadlock, stall, error) plus a summary record
 #    with totals; JSONL tags records with "kind".
-BATCH_SCHEMA_VERSION = 1
+# 2: lint-enabled batches — item records gain "lint_counts" (rule id ->
+#    diagnostic count, {} when clean) and the summary record gains
+#    "lint" ({"enabled", "diagnostics"}).
+BATCH_SCHEMA_VERSION = 2
 
 CACHE_HIT = "hit"
 CACHE_MISS = "miss"
@@ -68,6 +71,7 @@ class ItemReport:
     duration_s: float = 0.0
     error: Optional[str] = None
     result: Optional[object] = field(default=None, repr=False)
+    lint_counts: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -85,6 +89,8 @@ class ItemReport:
         }
         if self.result is not None:
             payload.update(summary_result_to_dict(self.result))
+        if self.lint_counts is not None:
+            payload["lint_counts"] = dict(sorted(self.lint_counts.items()))
         return payload
 
 
@@ -101,6 +107,7 @@ class BatchReport:
     wall_time_s: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    lint_enabled: bool = False
 
     @property
     def results(self) -> List[Optional[object]]:
@@ -142,6 +149,14 @@ class BatchReport:
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
             },
+            "lint": {
+                "enabled": self.lint_enabled,
+                "diagnostics": sum(
+                    sum(item.lint_counts.values())
+                    for item in self.items
+                    if item.lint_counts is not None
+                ),
+            },
             "wall_time_s": round(self.wall_time_s, 6),
         }
 
@@ -176,6 +191,15 @@ class BatchReport:
             else:
                 detail = (item.error or "").strip().splitlines()
                 detail = detail[-1] if detail else item.status
+            if item.lint_counts is not None:
+                lint = (
+                    ", ".join(
+                        f"{rule}={n}"
+                        for rule, n in sorted(item.lint_counts.items())
+                    )
+                    or "clean"
+                )
+                detail = f"{detail}; lint: {lint}"
             lines.append(
                 f"{item.label}: {item.status} [cache {item.cache}] {detail}"
             )
@@ -230,6 +254,7 @@ def run_batch(
     timeout: Optional[float] = None,
     cache: Union[ResultCache, str, Path, bool, None] = None,
     backend: str = "index",
+    lint: bool = False,
 ) -> BatchReport:
     """Analyze many programs with caching and parallelism.
 
@@ -246,6 +271,11 @@ def run_batch(
     :data:`repro.api.BACKEND_AWARE`).  It is deliberately *not* part of
     the cache key: both kernels are bit-exact, so their results are
     interchangeable cache entries.
+
+    ``lint`` additionally runs the lint rules over every item; each
+    :class:`ItemReport` then carries ``lint_counts`` (rule id ->
+    diagnostic count) and lint-enabled cache entries are stored under
+    their own keys with the counts alongside the analysis result.
     """
     started = time.perf_counter()
     result_cache = _coerce_cache(cache)
@@ -262,7 +292,9 @@ def run_batch(
             key = None
             if result_cache is not None:
                 try:
-                    key = cache_key(source, algorithm, state_limit, exact)
+                    key = cache_key(
+                        source, algorithm, state_limit, exact, lint
+                    )
                 except ReproError:
                     # Unparseable: let the worker produce the FAILED
                     # outcome (uniform error reporting), uncached.
@@ -271,11 +303,13 @@ def run_batch(
                     hit = result_cache.get(key)
                     if hit is not None:
                         obs.counter("farm.cache.hits").inc()
+                        result, lint_counts = _unwrap_entry(hit, lint)
                         reports[idx] = ItemReport(
                             label=label,
                             status=STATUS_OK,
                             cache=CACHE_HIT,
-                            result=hit,
+                            result=result,
+                            lint_counts=lint_counts,
                         )
                         continue
                     obs.counter("farm.cache.misses").inc()
@@ -289,6 +323,7 @@ def run_batch(
                         exact=exact,
                         state_limit=state_limit,
                         backend=backend,
+                        lint=lint,
                     ),
                     key,
                 )
@@ -300,7 +335,9 @@ def run_batch(
             )
 
         for (idx, _, key), outcome in zip(work, outcomes):
-            reports[idx] = _item_from_outcome(outcome, result_cache, key)
+            reports[idx] = _item_from_outcome(
+                outcome, result_cache, key, lint
+            )
 
         assert all(report is not None for report in reports)
         items: List[ItemReport] = reports  # type: ignore[assignment]
@@ -328,6 +365,7 @@ def run_batch(
         wall_time_s=time.perf_counter() - started,
         cache_hits=hits,
         cache_misses=misses,
+        lint_enabled=lint,
     )
 
 
@@ -358,13 +396,32 @@ def _labelled_sources(
     return labelled
 
 
+def _unwrap_entry(entry: object, lint: bool):
+    """Split a cache entry into (analysis result, lint counts).
+
+    Lint-enabled runs store a ``{"analysis", "lint_counts"}`` wrapper
+    under their own keys; plain runs store the bare result.  A foreign
+    shape under a lint key (impossible via this module, cheap to guard)
+    degrades to no counts rather than crashing.
+    """
+    if lint and isinstance(entry, dict) and "analysis" in entry:
+        return entry["analysis"], entry.get("lint_counts")
+    return entry, None
+
+
 def _item_from_outcome(
     outcome: WorkOutcome,
     result_cache: Optional[ResultCache],
     key: Optional[str],
+    lint: bool,
 ) -> ItemReport:
     if outcome.ok and result_cache is not None and key is not None:
-        result_cache.put(key, outcome.result)
+        entry = (
+            {"analysis": outcome.result, "lint_counts": outcome.lint_counts}
+            if lint
+            else outcome.result
+        )
+        result_cache.put(key, entry)
     return ItemReport(
         label=outcome.label,
         status=outcome.status,
@@ -376,4 +433,5 @@ def _item_from_outcome(
         duration_s=outcome.duration_s,
         error=outcome.error,
         result=outcome.result,
+        lint_counts=outcome.lint_counts,
     )

@@ -257,11 +257,17 @@ class ProcDecl:
 
 @dataclass(frozen=True)
 class TaskDecl:
-    """A task: a name and a statement sequence (its main body)."""
+    """A task: a name and a statement sequence (its main body).
+
+    ``loc`` spans the task's *name* token (diagnostic anchor);
+    ``decl_loc`` spans the whole ``task … end;`` declaration — the
+    region a whole-task replacement (e.g. a SARIF fix) must cover.
+    """
 
     name: str
     body: Tuple[Statement, ...]
     loc: Optional[Span] = _loc_field()
+    decl_loc: Optional[Span] = _loc_field()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "body", tuple(self.body))

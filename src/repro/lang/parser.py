@@ -122,7 +122,7 @@ class _Parser:
         )
 
     def _parse_task(self) -> TaskDecl:
-        self._expect_kw("task")
+        start_tok = self._expect_kw("task")
         name_tok = self._expect(TokenType.IDENT)
         self._expect_kw("is")
         self._expect_kw("begin")
@@ -133,6 +133,7 @@ class _Parser:
             name=name_tok.value,
             body=tuple(body),
             loc=Span.of_token(name_tok),
+            decl_loc=self._span_from(start_tok),
         )
 
     def _parse_procedure(self) -> ProcDecl:

@@ -25,7 +25,7 @@ from .ast_nodes import (
     While,
 )
 
-__all__ = ["pretty", "pretty_body"]
+__all__ = ["pretty", "pretty_body", "pretty_task"]
 
 _INDENT = "    "
 
@@ -48,6 +48,15 @@ def pretty(program: Program) -> str:
 def pretty_body(body: Sequence[Statement], indent: int = 0) -> str:
     """Render a statement sequence (convenience for tests and docs)."""
     return "\n".join(_stmt_lines(body, indent))
+
+
+def pretty_task(task: TaskDecl) -> str:
+    """Render one task declaration (``task … end;``, no trailing newline).
+
+    Exactly the text :func:`pretty` emits for the task — used by the
+    SARIF backend to build whole-task ``fix`` replacements.
+    """
+    return "\n".join(_task_lines(task))
 
 
 def _task_lines(task: TaskDecl) -> List[str]:

@@ -42,6 +42,7 @@ from .engine import (
 from .output import (
     LINT_SCHEMA_VERSION,
     SARIF_VERSION,
+    RepairAttachment,
     lint_to_dict,
     render_text,
     sarif_report,
@@ -55,6 +56,7 @@ __all__ = [
     "LintRule",
     "LINT_SCHEMA_VERSION",
     "Related",
+    "RepairAttachment",
     "SARIF_VERSION",
     "Severity",
     "all_rules",

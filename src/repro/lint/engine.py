@@ -152,8 +152,12 @@ class LintContext:
         self.path = path
         self._inlined: Optional[Program] = None
         self._inline_failed = False
+        self._graph = None
+        self._graph_built = False
         self._clg = None
         self._clg_built = False
+        self._deadlock = None
+        self._deadlock_built = False
         self._unmatched: Optional[Tuple[Diagnostic, ...]] = None
         self._counts = None
 
@@ -190,29 +194,58 @@ class LintContext:
         return self._unmatched
 
     @property
-    def clg(self):
-        """The cycle location graph of the unrolled program, or ``None``
+    def analysis_graph(self):
+        """Sync graph of the unrolled effective program, or ``None``
         when the program cannot reach the graph pipeline (validation
-        errors, irreducible flow, ...)."""
-        if not self._clg_built:
-            self._clg_built = True
+        errors, unresolved calls, ...)."""
+        if not self._graph_built:
+            self._graph_built = True
             from ..syncgraph.build import build_sync_graph
-            from ..syncgraph.clg import build_clg
             from ..transforms.unroll import remove_loops
 
             effective = self.effective
             if self._inline_failed:
                 # the fallback program still contains Call statements,
                 # which have no CFG form
-                self._clg = None
+                self._graph = None
             else:
                 try:
                     validate_program(effective)
                     unrolled, _ = remove_loops(effective)
-                    self._clg = build_clg(build_sync_graph(unrolled))
+                    self._graph = build_sync_graph(unrolled)
                 except ReproError:
-                    self._clg = None
+                    self._graph = None
+        return self._graph
+
+    @property
+    def clg(self):
+        """The cycle location graph of the unrolled program, or ``None``
+        when the program cannot reach the graph pipeline."""
+        if not self._clg_built:
+            self._clg_built = True
+            from ..syncgraph.clg import build_clg
+
+            graph = self.analysis_graph
+            self._clg = None if graph is None else build_clg(graph)
         return self._clg
+
+    @property
+    def deadlock(self):
+        """The refined polynomial deadlock report, or ``None`` when the
+        program cannot reach the analysis pipeline.  Shared by ADL012
+        and any downstream consumer (e.g. SARIF fix attachment) so the
+        analysis runs at most once per lint."""
+        if not self._deadlock_built:
+            self._deadlock_built = True
+            from ..analysis.refined import refined_deadlock_analysis
+
+            graph = self.analysis_graph
+            if graph is not None:
+                try:
+                    self._deadlock = refined_deadlock_analysis(graph)
+                except ReproError:
+                    self._deadlock = None
+        return self._deadlock
 
 
 @dataclass

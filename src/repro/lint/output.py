@@ -7,24 +7,43 @@ references in ``help.text``) and one ``result`` per diagnostic with a
 (GitHub code scanning, VS Code SARIF viewer, ...).
 :func:`validate_sarif_shape` checks the structural contract and is used
 by the CI self-check and the test suite.
+
+Certified repairs (:mod:`repro.repair`) ride along as SARIF ``fix``
+objects: pass :func:`sarif_report` a ``repairs`` mapping and every
+deadlock-anchored diagnostic (ADL010/ADL012) for that artifact gains
+``fixes`` entries whose replacements rewrite the changed task
+declarations in place (``TaskDecl.decl_loc`` regions), falling back to
+a whole-file replacement when the program carries no spans.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..diagnostics import Severity
+from ..lang.ast_nodes import Program
 from ..lang.source import Span
 from .engine import LintResult, all_rules
 
 __all__ = [
     "LINT_SCHEMA_VERSION",
     "SARIF_VERSION",
+    "RepairAttachment",
     "render_text",
     "lint_to_dict",
     "sarif_report",
     "validate_sarif_shape",
 ]
+
+# Rule ids whose SARIF results carry the certified fixes: the
+# constraint-1 candidate cycle (ADL010) and the full conviction
+# (ADL012) are the diagnostics a deadlock repair actually discharges.
+FIX_ANCHOR_RULES = ("ADL010", "ADL012")
+
+# At most this many fixes are attached per diagnostic (they arrive
+# ranked best-first from repro.repair.rank_fixes).
+MAX_SARIF_FIXES = 3
 
 # 1: initial lint JSON payload (path, diagnostics, summary, rules_run).
 LINT_SCHEMA_VERSION = 1
@@ -108,14 +127,121 @@ def _artifact_uri(path: str) -> str:
     return path.replace("\\", "/")
 
 
-def sarif_report(results: Sequence[LintResult]) -> Dict[str, Any]:
-    """One SARIF 2.1.0 document covering one or more lint runs."""
+@dataclass
+class RepairAttachment:
+    """Certified repairs for one linted artifact.
+
+    ``program`` is the parsed original (span provenance for
+    ``decl_loc`` replacement regions), ``report`` a
+    :class:`repro.repair.RepairReport`, ``source`` the original text —
+    required only for the whole-file fallback replacement used when the
+    program carries no declaration spans.
+    """
+
+    program: Program
+    report: Any
+    source: Optional[str] = None
+
+
+def _whole_file_region(source: str) -> Dict[str, int]:
+    lines = source.splitlines()
+    return {
+        "startLine": 1,
+        "startColumn": 1,
+        "endLine": max(1, len(lines)),
+        "endColumn": len(lines[-1]) + 1 if lines else 1,
+    }
+
+
+def _fix_replacements(
+    attachment: RepairAttachment, fix: Any
+) -> Optional[List[Dict[str, Any]]]:
+    """Per-changed-task replacements for one certified fix, or ``None``
+    when the fix cannot be expressed (no spans and no source text)."""
+    from ..lang.pretty import pretty_task
+    from ..repair.model import changed_tasks
+
+    original = attachment.program
+    repaired = fix.candidate.program
+    originals = {t.name: t for t in original.tasks}
+    repaired_by_name = {t.name: t for t in repaired.tasks}
+    replacements: List[Dict[str, Any]] = []
+    for name in changed_tasks(original, repaired):
+        decl = originals.get(name)
+        decl_loc = None if decl is None else decl.decl_loc
+        if decl_loc is None:
+            # Span-less program (built programmatically): fall back to
+            # replacing the whole artifact with the repaired source.
+            if attachment.source is None:
+                return None
+            return [
+                {
+                    "deletedRegion": _whole_file_region(attachment.source),
+                    "insertedContent": {"text": fix.source},
+                }
+            ]
+        after = repaired_by_name.get(name)
+        replacements.append(
+            {
+                "deletedRegion": _region(decl_loc),
+                "insertedContent": {
+                    "text": "" if after is None else pretty_task(after)
+                },
+            }
+        )
+    return replacements or None
+
+
+def _sarif_fixes(
+    path: str, attachment: RepairAttachment
+) -> List[Dict[str, Any]]:
+    fixes: List[Dict[str, Any]] = []
+    for fix in attachment.report.fixes[:MAX_SARIF_FIXES]:
+        replacements = _fix_replacements(attachment, fix)
+        if replacements is None:
+            continue
+        stall = " [introduces a stall]" if fix.introduced_stall else ""
+        fixes.append(
+            {
+                "description": {
+                    "text": (
+                        f"[{fix.kind}] {fix.description} "
+                        f"(certified by {fix.certified_by}){stall}"
+                    )
+                },
+                "artifactChanges": [
+                    {
+                        "artifactLocation": {"uri": _artifact_uri(path)},
+                        "replacements": replacements,
+                    }
+                ],
+            }
+        )
+    return fixes
+
+
+def sarif_report(
+    results: Sequence[LintResult],
+    repairs: Optional[Mapping[str, RepairAttachment]] = None,
+) -> Dict[str, Any]:
+    """One SARIF 2.1.0 document covering one or more lint runs.
+
+    ``repairs`` maps a :attr:`LintResult.path` to the certified repairs
+    for that artifact; its fixes are attached to every ADL010/ADL012
+    result of the matching artifact (see :data:`FIX_ANCHOR_RULES`).
+    """
     from .. import __version__
 
     rules = all_rules()
     rule_index = {rule.rule_id: i for i, rule in enumerate(rules)}
     sarif_results: List[Dict[str, Any]] = []
     for result in results:
+        attachment = (repairs or {}).get(result.path)
+        fixes = (
+            _sarif_fixes(result.path, attachment)
+            if attachment is not None and attachment.report.fixes
+            else []
+        )
         for diag in result.diagnostics:
             entry: Dict[str, Any] = {
                 "ruleId": diag.rule_id,
@@ -132,6 +258,8 @@ def sarif_report(results: Sequence[LintResult]) -> Dict[str, Any]:
                     }
                     for rel in diag.related
                 ]
+            if fixes and diag.rule_id in FIX_ANCHOR_RULES:
+                entry["fixes"] = fixes
             sarif_results.append(entry)
     return {
         "$schema": _SARIF_SCHEMA,
@@ -170,7 +298,9 @@ def validate_sarif_shape(doc: Dict[str, Any]) -> List[str]:
     OK).  Not a full JSON-Schema validation — the container has no
     network access to fetch the schema — but covers everything SARIF
     consumers require: version, run/tool/driver shape, rule catalog
-    integrity, and per-result ruleId/level/message/location regions."""
+    integrity, per-result ruleId/level/message/location regions, and —
+    when present — ``fix`` objects (description text, artifact changes
+    with non-empty replacement lists and well-formed deleted regions)."""
     problems: List[str] = []
 
     def need(cond: bool, msg: str) -> None:
@@ -232,4 +362,41 @@ def validate_sarif_shape(doc: Dict[str, Any]) -> List[str]:
                     and region["startColumn"] >= 1,
                     "region.startColumn must be a positive int",
                 )
+            for fix in res.get("fixes", []):
+                need(
+                    isinstance(
+                        fix.get("description", {}).get("text"), str
+                    ),
+                    "fix.description.text missing",
+                )
+                changes = fix.get("artifactChanges")
+                need(
+                    isinstance(changes, list) and len(changes) >= 1,
+                    "fix.artifactChanges missing",
+                )
+                for change in changes or []:
+                    uri = change.get("artifactLocation", {}).get("uri")
+                    need(
+                        isinstance(uri, str) and bool(uri),
+                        "artifactChange uri missing",
+                    )
+                    reps = change.get("replacements")
+                    need(
+                        isinstance(reps, list) and len(reps) >= 1,
+                        "artifactChange.replacements missing",
+                    )
+                    for rep in reps or []:
+                        deleted = rep.get("deletedRegion", {})
+                        need(
+                            isinstance(deleted.get("startLine"), int)
+                            and deleted["startLine"] >= 1,
+                            "deletedRegion.startLine must be a "
+                            "positive int",
+                        )
+                        inserted = rep.get("insertedContent")
+                        need(
+                            inserted is None
+                            or isinstance(inserted.get("text"), str),
+                            "insertedContent.text must be a string",
+                        )
     return problems

@@ -37,6 +37,12 @@ ADL011   unreachable-after-stall warning   Lemma 3 corollary: code after
                                            a guaranteed-stall rendezvous
                                            in the same sequence never
                                            executes in the wave model.
+ADL012   possible-deadlock       warning   §3: the refined polynomial
+                                           analysis convicts the program
+                                           — a coupling cycle satisfies
+                                           every deadlock constraint.
+                                           Anchor of the SARIF ``fix``
+                                           objects repair emits.
 =======  ======================  ========  ==============================
 
 Rules only read the AST (and, for ADL010, the derived CLG); they never
@@ -436,3 +442,66 @@ def check_unreachable_after_stall(
 
     for task in program.tasks:
         yield from scan(task.name, task.body)
+
+
+@lint_rule(
+    "ADL012",
+    "possible-deadlock",
+    "warning",
+    "the refined polynomial analysis convicts the program: a coupling "
+    "cycle satisfies every deadlock constraint",
+    "Section 3 (refined analysis)",
+)
+def check_possible_deadlock(
+    ctx: LintContext, rule: LintRule
+) -> Iterable[Diagnostic]:
+    """Full-conviction rule: runs the actual refined detector.
+
+    Where ADL010 flags *candidate* coupling cycles (constraint 1 only),
+    ADL012 fires only when the refined analysis fails to refute one —
+    the lint-layer anchor that ``repro.repair`` attaches SARIF ``fix``
+    objects to.
+    """
+    report = ctx.deadlock
+    if report is None or report.deadlock_free:
+        return
+    emitted = False
+    seen_components: Set[frozenset] = set()
+    for evidence in report.evidence:
+        # Several heads can convict the same cycle component; one
+        # diagnostic per component is enough.
+        if evidence.component in seen_components:
+            continue
+        seen_components.add(evidence.component)
+        spans = []
+        seen = set()
+        for node in sorted(evidence.component, key=lambda n: n.uid):
+            stmt = getattr(node.cfg_node, "stmt", None)
+            loc = getattr(stmt, "loc", None)
+            if loc is not None and loc not in seen:
+                seen.add(loc)
+                spans.append((loc, node))
+        spans.sort(key=lambda pair: (pair[0].line, pair[0].column))
+        tasks = sorted(evidence.tasks)
+        emitted = True
+        yield rule.diagnostic(
+            f"possible deadlock ({report.algorithm}): rendezvous across "
+            f"task(s) {', '.join(tasks)} form a coupling cycle the "
+            "analysis cannot refute; repro.repair can synthesize "
+            "certified fixes (--suggest-fixes)",
+            span=spans[0][0] if spans else None,
+            task=tasks[0] if len(tasks) == 1 else None,
+            related=tuple(
+                Related(
+                    message=f"cycle member {node}",
+                    span=loc,
+                    task=node.task,
+                )
+                for loc, node in spans[1:8]
+            ),
+        )
+    if not emitted:
+        yield rule.diagnostic(
+            f"possible deadlock ({report.algorithm}): the analysis "
+            "convicts the program but carries no located evidence"
+        )

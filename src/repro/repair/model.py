@@ -1,0 +1,156 @@
+"""Data model of the repair pipeline.
+
+A :class:`RepairCandidate` is a *proposed* localized edit: a whole
+repaired program plus the provenance of the edit (kind, task, source
+spans touched, edit size).  The verifier re-analyzes every candidate
+and promotes the survivors to :class:`CertifiedFix` — a candidate whose
+repaired program the analysis pipeline certifies deadlock-free.  A
+:class:`RepairReport` collects the ranked fixes for one convicted
+program together with the generation/verification counters that make
+the certification contract auditable (``candidates_rejected`` > 0 is
+the proof that the verifier filters rather than rubber-stamps).
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..lang.ast_nodes import Program
+from ..lang.pretty import pretty
+from ..lang.source import Span
+
+__all__ = [
+    "RepairCandidate",
+    "CertifiedFix",
+    "RepairReport",
+    "changed_tasks",
+    "unified_fix_diff",
+]
+
+
+@dataclass(frozen=True)
+class RepairCandidate:
+    """One proposed edit, carried as the fully repaired program.
+
+    ``kind`` names the edit operator (``swap_adjacent``, ``move``,
+    ``insert_accept``, ``delete``, ``guard``, ``branch_merge``,
+    ``codependent``).  ``task`` is the edited task, or ``None`` for
+    whole-program transforms.  ``spans`` are the source spans of the
+    statements the edit touches in the *original* program (empty when
+    the program was built programmatically and carries no locations).
+    ``edit_size`` is the number of statements moved/added/removed —
+    the ranking's primary locality measure.
+    """
+
+    kind: str
+    description: str
+    program: Program
+    task: Optional[str] = None
+    spans: Tuple[Span, ...] = ()
+    edit_size: int = 1
+
+    @property
+    def source(self) -> str:
+        """The repaired program as canonical ADL text."""
+        return pretty(self.program)
+
+
+@dataclass(frozen=True)
+class CertifiedFix:
+    """A candidate that re-analyzed deadlock-free.
+
+    ``certified_by`` records which pass certified it: the polynomial
+    detector (its algorithm name) or ``"exact-waves"`` when only the
+    exhaustive search could discharge a residual false alarm.
+    ``introduced_stall`` marks fixes that trade the deadlock for a
+    stall the original did not have — still certified (the deadlock is
+    gone) but ranked last.
+    """
+
+    candidate: RepairCandidate
+    certified_by: str
+    stall_verdict: str
+    introduced_stall: bool = False
+
+    @property
+    def kind(self) -> str:
+        return self.candidate.kind
+
+    @property
+    def description(self) -> str:
+        return self.candidate.description
+
+    @property
+    def source(self) -> str:
+        return self.candidate.source
+
+
+@dataclass
+class RepairReport:
+    """Everything one :func:`repro.repair.suggest_repairs` call produced."""
+
+    program_name: str
+    original_verdict: str
+    original_stall_verdict: str
+    algorithm: str
+    candidates_generated: int = 0
+    candidates_rejected: int = 0
+    fixes: List[CertifiedFix] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+
+    @property
+    def fixed(self) -> bool:
+        """True when at least one certified fix was found."""
+        return bool(self.fixes)
+
+    def describe(self) -> str:
+        lines = [
+            f"repair {self.program_name}: {self.original_verdict} -> "
+            f"{len(self.fixes)} certified fix(es) "
+            f"({self.candidates_generated} candidate(s), "
+            f"{self.candidates_rejected} rejected)"
+        ]
+        for i, fix in enumerate(self.fixes, 1):
+            stall = " [introduces a stall]" if fix.introduced_stall else ""
+            lines.append(
+                f"  fix {i} [{fix.kind}, certified by "
+                f"{fix.certified_by}]: {fix.description}{stall}"
+            )
+        return "\n".join(lines)
+
+
+def changed_tasks(original: Program, repaired: Program) -> List[str]:
+    """Names of tasks whose bodies differ between the two programs."""
+    before = {t.name: t.body for t in original.tasks}
+    changed = [
+        t.name
+        for t in repaired.tasks
+        if before.get(t.name) != t.body
+    ]
+    changed.extend(
+        name for name in before if name not in repaired.task_names
+    )
+    return changed
+
+
+def unified_fix_diff(
+    original: Program, fix: CertifiedFix, path: str = "<source>"
+) -> str:
+    """Unified diff from the canonical original to the repaired program.
+
+    Both sides are pretty-printed, so the diff shows exactly the edit
+    (never formatting noise from the input file).
+    """
+    before = pretty(original).splitlines(keepends=True)
+    after = fix.source.splitlines(keepends=True)
+    return "".join(
+        difflib.unified_diff(
+            before,
+            after,
+            fromfile=path,
+            tofile=f"{path} (fix: {fix.kind})",
+        )
+    )

@@ -1,0 +1,50 @@
+"""Fix ranking: smallest, safest, most idiomatic edits first.
+
+The ordering encodes three judgments:
+
+1. Fixes that trade the deadlock for a *new* stall rank strictly last —
+   they are still certified deadlock-free, but a user applying the top
+   suggestion should never pick up a fresh anomaly.
+2. Edit kinds rank by how faithfully they preserve intent: reorderings
+   keep every rendezvous (the classic lock-ordering fix), the paper's
+   Figure-5 transforms are semantics-preserving by construction,
+   insertions add behaviour, and guards/deletions *remove* behaviour —
+   last resorts.
+3. Within a kind, smaller edits win (``edit_size``), with the
+   human-readable description as the deterministic tiebreak.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .model import CertifiedFix
+
+__all__ = ["KIND_PRIORITY", "rank_fixes"]
+
+KIND_PRIORITY = {
+    "swap_adjacent": 0,
+    "move": 1,
+    "branch_merge": 2,
+    "codependent": 2,
+    "insert_accept": 3,
+    "guard": 4,
+    "delete": 5,
+}
+
+# Unknown kinds (future operators) slot between insertions and guards.
+_DEFAULT_PRIORITY = 4
+
+
+def _sort_key(fix: CertifiedFix) -> Tuple[bool, int, int, str]:
+    return (
+        fix.introduced_stall,
+        KIND_PRIORITY.get(fix.kind, _DEFAULT_PRIORITY),
+        fix.candidate.edit_size,
+        fix.description,
+    )
+
+
+def rank_fixes(fixes: Sequence[CertifiedFix]) -> List[CertifiedFix]:
+    """Stable-sort certified fixes, best suggestion first."""
+    return sorted(fixes, key=_sort_key)

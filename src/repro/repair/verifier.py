@@ -1,0 +1,152 @@
+"""Candidate verification: re-analyze every candidate, keep the free ones.
+
+Verification is the certification step of the repair pipeline and it
+reuses the production analysis stack wholesale:
+
+1. Every candidate is pretty-printed and dispatched as one farm batch
+   (:func:`repro.farm.runner.run_batch`) — content-addressed caching
+   means re-running repair on an unchanged program re-verifies nothing,
+   and the crash-quarantined pool keeps one pathological candidate from
+   killing the sweep.
+2. A candidate whose batch item comes back ``certified-deadlock-free``
+   under the requested polynomial detector is certified by that
+   detector.
+3. A candidate the detector still convicts gets one escalation: exact
+   wave exploration (``repro.analyze(..., exact=True)``, WaveIndex
+   backend) under ``exact_budget`` states.  The polynomial analyses
+   are conservative, so this rescues candidates that are actually free
+   but trip a residual false alarm.  A budget-limited exact run proves
+   nothing and the candidate stays rejected.
+
+Every rejection bumps the ``repair.candidates_rejected`` observability
+counter — a nonzero count is the audit trail showing the verifier
+filters rather than rubber-stamps.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+from .. import obs
+from ..api import analyze
+from ..farm.runner import run_batch
+from .model import CertifiedFix, RepairCandidate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..api import AnalysisResult
+    from ..farm.cache import ResultCache
+
+__all__ = ["verify_candidates"]
+
+
+def _exact_escalation(
+    candidate: RepairCandidate,
+    exact_budget: int,
+    backend: str,
+) -> Optional["AnalysisResult"]:
+    """Exact-search a still-convicted candidate; None unless certified.
+
+    Only an *unlimited* exact run that found no deadlock wave counts —
+    ``analyze`` already folds budget exhaustion into a conservative
+    possible-deadlock verdict, so checking ``deadlock_free`` suffices.
+    """
+    if exact_budget <= 0:
+        return None
+    try:
+        result = analyze(
+            candidate.program,
+            exact=True,
+            state_limit=exact_budget,
+            backend=backend,
+        )
+    except Exception:
+        return None
+    return result if result.deadlock.deadlock_free else None
+
+
+def verify_candidates(
+    original: "AnalysisResult",
+    candidates: Sequence[RepairCandidate],
+    algorithm: str = "refined",
+    backend: str = "index",
+    state_limit: int = 200_000,
+    exact_budget: int = 50_000,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    cache: Union["ResultCache", str, Path, bool, None] = None,
+) -> Tuple[List[CertifiedFix], Dict[str, int]]:
+    """Certify or reject every candidate; returns (fixes, stats).
+
+    ``stats`` breaks the rejections down: ``rejected_failed`` (candidate
+    did not survive the pipeline at all — parse/validation/crash),
+    ``rejected_still_convicted`` (analyzed fine but the deadlock
+    remains), plus ``certified_static`` / ``certified_exact`` for the
+    survivors.
+    """
+    if not candidates:
+        return [], {
+            "certified_static": 0,
+            "certified_exact": 0,
+            "rejected_failed": 0,
+            "rejected_still_convicted": 0,
+        }
+
+    batch = run_batch(
+        [
+            (f"candidate-{i}-{cand.kind}", cand.source)
+            for i, cand in enumerate(candidates)
+        ],
+        algorithm=algorithm,
+        state_limit=state_limit,
+        jobs=jobs,
+        timeout=timeout,
+        cache=cache,
+        backend=backend,
+    )
+
+    original_stall_free = original.stall.stall_free
+    fixes: List[CertifiedFix] = []
+    stats = {
+        "certified_static": 0,
+        "certified_exact": 0,
+        "rejected_failed": 0,
+        "rejected_still_convicted": 0,
+    }
+    for cand, item in zip(candidates, batch.items):
+        if not item.ok or item.result is None:
+            stats["rejected_failed"] += 1
+            continue
+        result = item.result
+        certified_by: Optional[str] = None
+        if result.deadlock.deadlock_free:
+            certified_by = algorithm
+            stats["certified_static"] += 1
+        else:
+            rescued = _exact_escalation(cand, exact_budget, backend)
+            if rescued is not None:
+                result = rescued
+                certified_by = "exact-waves"
+                stats["certified_exact"] += 1
+        if certified_by is None:
+            stats["rejected_still_convicted"] += 1
+            continue
+        fixes.append(
+            CertifiedFix(
+                candidate=cand,
+                certified_by=certified_by,
+                stall_verdict=result.stall.verdict,
+                introduced_stall=(
+                    original_stall_free and not result.stall.stall_free
+                ),
+            )
+        )
+
+    rejected = (
+        stats["rejected_failed"] + stats["rejected_still_convicted"]
+    )
+    if rejected:
+        obs.counter("repair.candidates_rejected").inc(rejected)
+    if fixes:
+        obs.counter("repair.fixes_certified").inc(len(fixes))
+    return fixes, stats

@@ -8,14 +8,18 @@ The CLI's ``--json`` output is built from these functions.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from .analysis.confirm import ConfirmedReport
 from .analysis.results import DeadlockEvidence, DeadlockReport, StallReport
 from .api import AnalysisResult
 from .interp.runtime import SimulationSummary
+from .lang.ast_nodes import Program
 from .lang.validate import ValidationReport
 from .waves.witness import AnomalyWitness
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .repair.model import RepairReport
 
 __all__ = [
     "deadlock_report_to_dict",
@@ -24,6 +28,7 @@ __all__ = [
     "simulation_to_dict",
     "witness_to_dict",
     "confirmation_to_dict",
+    "repair_report_to_dict",
     "analysis_result_to_dict",
     "summary_result_to_dict",
 ]
@@ -35,7 +40,12 @@ __all__ = [
 #    gained a "diagnostics" list (rule id, severity, span, task,
 #    related); the "warnings" string list is kept, derived from them.
 #    Lint mode has its own payload (see repro.lint.output.lint_to_dict).
-SCHEMA_VERSION = 3
+# 4: optional top-level "repair" (repro.repair.RepairReport: certified
+#    fixes with kind/description/certifier/diff, generation and
+#    rejection counters); deadlock stats may carry
+#    "unroll_approximated" / "explored_pre_unroll_graph" from the
+#    exact-path loop-faithfulness fix.
+SCHEMA_VERSION = 4
 
 
 def _evidence_to_dict(evidence: DeadlockEvidence) -> Dict[str, Any]:
@@ -120,6 +130,54 @@ def witness_to_dict(witness: AnomalyWitness) -> Dict[str, Any]:
     }
 
 
+def repair_report_to_dict(
+    report: "RepairReport", original: Optional[Program] = None
+) -> Dict[str, Any]:
+    """Serialize one repair run; pass the original program to include
+    per-fix changed-task lists and unified diffs."""
+    from .repair.model import changed_tasks, unified_fix_diff
+
+    fixes = []
+    for fix in report.fixes:
+        entry: Dict[str, Any] = {
+            "kind": fix.kind,
+            "description": fix.description,
+            "certified_by": fix.certified_by,
+            "stall_verdict": fix.stall_verdict,
+            "introduced_stall": fix.introduced_stall,
+            "edit_size": fix.candidate.edit_size,
+            "task": fix.candidate.task,
+            "spans": [
+                {
+                    "line": span.line,
+                    "column": span.column,
+                    "end_line": span.end_line,
+                    "end_column": span.end_column,
+                }
+                for span in fix.candidate.spans
+            ],
+            "source": fix.source,
+        }
+        if original is not None:
+            entry["changed_tasks"] = changed_tasks(
+                original, fix.candidate.program
+            )
+            entry["diff"] = unified_fix_diff(original, fix)
+        fixes.append(entry)
+    return {
+        "program": report.program_name,
+        "original_verdict": report.original_verdict,
+        "original_stall_verdict": report.original_stall_verdict,
+        "algorithm": report.algorithm,
+        "candidates_generated": report.candidates_generated,
+        "candidates_rejected": report.candidates_rejected,
+        "fixed": report.fixed,
+        "fixes": fixes,
+        "stats": dict(report.stats),
+        "wall_time_s": round(report.wall_time_s, 6),
+    }
+
+
 def confirmation_to_dict(confirmed: ConfirmedReport) -> Dict[str, Any]:
     return {
         "outcome": confirmed.outcome,
@@ -138,12 +196,14 @@ def analysis_result_to_dict(
     simulation: Optional[SimulationSummary] = None,
     confirmation: Optional[ConfirmedReport] = None,
     metrics: Optional[Dict[str, Any]] = None,
+    repair: Optional["RepairReport"] = None,
 ) -> Dict[str, Any]:
     """The full CLI/CI payload for one analysis run.
 
     ``metrics`` is an observability snapshot (see
     :func:`repro.obs.export.session_to_dict`); the CLI passes one when
-    ``--trace`` or ``--metrics-out`` enabled the obs layer.
+    ``--trace`` or ``--metrics-out`` enabled the obs layer.  ``repair``
+    is the :class:`~repro.repair.RepairReport` from ``--suggest-fixes``.
     """
     payload: Dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
@@ -160,6 +220,10 @@ def analysis_result_to_dict(
         payload["simulation"] = simulation_to_dict(simulation)
     if confirmation is not None:
         payload["confirmation"] = confirmation_to_dict(confirmation)
+    if repair is not None:
+        payload["repair"] = repair_report_to_dict(
+            repair, original=result.program
+        )
     if metrics is not None:
         payload["metrics"] = metrics
     return payload

@@ -12,7 +12,12 @@ from .linearize import (
     linearizations,
     linearize_task_bodies,
 )
-from .unroll import has_loops, remove_loops, unroll_body
+from .unroll import (
+    has_approximated_loops,
+    has_loops,
+    remove_loops,
+    unroll_body,
+)
 
 __all__ = [
     "CodependentPair",
@@ -21,6 +26,7 @@ __all__ = [
     "find_codependent_pairs",
     "call_graph",
     "has_calls",
+    "has_approximated_loops",
     "has_loops",
     "inline_procedures",
     "linearizations",

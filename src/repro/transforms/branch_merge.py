@@ -117,7 +117,9 @@ def merge_branch_rendezvous(program: Program) -> Tuple[Program, int]:
     for task in program.tasks:
         body, merges = _merge_body(task.body)
         total += merges
-        tasks.append(TaskDecl(name=task.name, body=body))
+        # with_body keeps loc/decl_loc so downstream span reporting
+        # (lint, SARIF fixes) survives the transform.
+        tasks.append(task.with_body(body))
     if total == 0:
         return program, 0
-    return Program(name=program.name, tasks=tuple(tasks)), total
+    return program.with_tasks(tasks), total

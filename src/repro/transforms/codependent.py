@@ -230,7 +230,7 @@ def _hoist(task: TaskDecl, signal: Signal) -> TaskDecl:
                 body.append(hoisted)
                 continue
         body.append(stmt)
-    return TaskDecl(name=task.name, body=tuple(body))
+    return task.with_body(tuple(body))
 
 
 def factor_codependent(
@@ -251,9 +251,6 @@ def factor_codependent(
             tasks[pair.accepter_task], pair.signal
         )
     return (
-        Program(
-            name=program.name,
-            tasks=tuple(tasks[t.name] for t in program.tasks),
-        ),
+        program.with_tasks(tuple(tasks[t.name] for t in program.tasks)),
         pairs,
     )

@@ -31,11 +31,16 @@ from ..lang.ast_nodes import (
     If,
     Program,
     Statement,
-    TaskDecl,
     While,
+    walk_statements,
 )
 
-__all__ = ["unroll_body", "remove_loops", "has_loops"]
+__all__ = [
+    "unroll_body",
+    "remove_loops",
+    "has_loops",
+    "has_approximated_loops",
+]
 
 
 def has_loops(program: Program) -> bool:
@@ -52,6 +57,23 @@ def has_loops(program: Program) -> bool:
         return False
 
     return any(scan(task.body) for task in program.tasks)
+
+
+def has_approximated_loops(program: Program, for_limit: int = 64) -> bool:
+    """True iff :func:`remove_loops` would *approximate* this program.
+
+    ``for`` loops within ``for_limit`` unroll exactly (same wave
+    semantics); ``while`` loops — and oversized ``for`` loops — become
+    Lemma-1 guarded copies, which preserve the static CLG analysis but
+    bound loop iterations, so exact wave verdicts may diverge.
+    """
+    for task in program.tasks:
+        for stmt in walk_statements(task.body):
+            if isinstance(stmt, While):
+                return True
+            if isinstance(stmt, For) and stmt.trip_count > for_limit:
+                return True
+    return False
 
 
 def _guarded_copies(
@@ -112,9 +134,7 @@ def remove_loops(
     if not has_loops(program):
         return program, False
     tasks = [
-        TaskDecl(
-            name=task.name, body=unroll_body(task.body, factor, for_limit)
-        )
+        task.with_body(unroll_body(task.body, factor, for_limit))
         for task in program.tasks
     ]
-    return Program(name=program.name, tasks=tuple(tasks)), True
+    return program.with_tasks(tasks), True

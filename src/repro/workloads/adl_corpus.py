@@ -24,10 +24,13 @@ from ..lang.parser import parse_program
 __all__ = [
     "AdlEntry",
     "LintEntry",
+    "RepairEntry",
     "adl_corpus",
     "lint_corpus",
     "load_adl",
     "load_lint_adl",
+    "load_repair_adl",
+    "repair_corpus",
 ]
 
 
@@ -139,9 +142,9 @@ _LINT_MANIFEST: Dict[str, Tuple[Tuple[str, ...], str]] = {
         "also counts as an unaccepted send that strands the next line",
     ),
     "coupled_protocol": (
-        ("ADL010",),
+        ("ADL010", "ADL012"),
         "crossed request/ack protocol forming a constraint-1 coupling "
-        "cycle",
+        "cycle that the refined analysis convicts outright",
     ),
     "loop_precision": (
         ("ADL009", "ADL010"),
@@ -150,6 +153,94 @@ _LINT_MANIFEST: Dict[str, Tuple[Tuple[str, ...], str]] = {
         "send-then-accept bodies also form a coupling cycle",
     ),
 }
+
+
+@dataclass(frozen=True)
+class RepairEntry:
+    """One convicted program from the repair showcase corpus.
+
+    Every entry is a real deadlock (confirmed by exact wave search in
+    the test suite) that the refined analysis convicts; ``fix_kinds``
+    names candidate kinds known to produce at least one certified fix,
+    as a regression anchor for the generator.
+    """
+
+    name: str
+    source: str
+    program: Program
+    fix_kinds: Tuple[str, ...]
+    description: str
+
+
+# name -> (kinds expected among certified fixes, description).  All
+# programs deadlock; repro.repair must certify at least one fix for
+# each (the acceptance test requires a >= 70% fix rate over the whole
+# convicted set, and these are chosen to be individually repairable).
+_REPAIR_MANIFEST: Dict[str, Tuple[Tuple[str, ...], str]] = {
+    "dining_philosophers": (
+        ("swap_adjacent",),
+        "three philosophers, clockwise fork order: circular wait only "
+        "exact search can certify away after reordering",
+    ),
+    "crossed_greeting": (
+        ("swap_adjacent",),
+        "minimal crossed handshake; either task reordered fixes it",
+    ),
+    "double_handshake": (
+        ("swap_adjacent",),
+        "two-phase protocol with an inverted second phase",
+    ),
+    "settle_before_approve": (
+        ("swap_adjacent",),
+        "gateway demands settlement before releasing the approval",
+    ),
+    "eager_producer": (
+        ("swap_adjacent", "move"),
+        "producer pushes two items before waiting for credit",
+    ),
+    "kick_start": (
+        ("swap_adjacent",),
+        "worker and driver each wait for the other to move first",
+    ),
+    "ring_order": (
+        ("swap_adjacent",),
+        "token ring where every station forwards before listening",
+    ),
+    "late_ack": (
+        ("swap_adjacent", "move"),
+        "server acknowledges only after the post-ack completion",
+    ),
+    "elevator_jam": (
+        ("swap_adjacent",),
+        "cab announces arrival before listening for its move command",
+    ),
+    "missing_accept": (
+        ("insert_accept",),
+        "receiver accepts one of two frames; the missing accept is "
+        "the repair",
+    ),
+}
+
+
+def load_repair_adl(name: str) -> str:
+    """Raw source text of one repair-showcase program."""
+    package = resources.files(__package__) / "adl_repair" / f"{name}.adl"
+    return package.read_text()
+
+
+def repair_corpus() -> Dict[str, RepairEntry]:
+    """Parse and return the repair showcase corpus, keyed by name."""
+    corpus: Dict[str, RepairEntry] = {}
+    for name, (fix_kinds, description) in _REPAIR_MANIFEST.items():
+        source = load_repair_adl(name)
+        corpus[name] = RepairEntry(
+            name=name,
+            source=source,
+            program=parse_program(source),
+            fix_kinds=fix_kinds,
+            description=description,
+        )
+    return corpus
 
 
 def load_lint_adl(name: str) -> str:

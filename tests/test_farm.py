@@ -70,6 +70,13 @@ class TestCacheKey:
         assert cache_key(HANDSHAKE_SRC, state_limit=7) != base
         assert cache_key(HANDSHAKE_SRC, exact=True) != base
 
+    def test_lint_changes_key(self):
+        # Lint entries carry extra payload, so they must not shadow
+        # (or be shadowed by) plain analysis entries.
+        assert cache_key(HANDSHAKE_SRC, lint=True) != cache_key(
+            HANDSHAKE_SRC
+        )
+
     def test_pipeline_version_changes_key(self, monkeypatch):
         base = cache_key(HANDSHAKE_SRC)
         monkeypatch.setattr(cache_module, "PIPELINE_VERSION", PIPELINE_VERSION + 1)
@@ -343,7 +350,7 @@ class TestRunBatch:
             [("h", HANDSHAKE_SRC), ("bad", "program ;")], cache=tmp_path
         )
         payload = report.to_dict()
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert payload["pipeline_version"] == PIPELINE_VERSION
         assert payload["cache"]["misses"] == 1  # "bad" never got a key
         lines = [
@@ -356,6 +363,81 @@ class TestRunBatch:
         assert lines[1]["status"] == STATUS_FAILED
         assert lines[1]["error"]
         assert lines[2]["counts"] == {"ok": 1, "failed": 1}
+
+
+# ---------------------------------------------------------------------------
+# lint-enabled batches
+
+
+class TestLintBatch:
+    def test_items_carry_per_rule_counts(self, tmp_path):
+        report = run_batch(
+            [("h", HANDSHAKE_SRC), ("crossed", CROSSED_SRC)],
+            cache=tmp_path,
+            lint=True,
+        )
+        assert report.ok and report.lint_enabled
+        by_label = {item.label: item for item in report.items}
+        assert by_label["h"].lint_counts == {}  # clean program
+        crossed = by_label["crossed"].lint_counts
+        assert crossed and crossed.get("ADL010", 0) >= 1
+
+    def test_counts_survive_the_cache(self, tmp_path):
+        args = dict(cache=tmp_path, lint=True)
+        first = run_batch([("crossed", CROSSED_SRC)], **args)
+        second = run_batch([("crossed", CROSSED_SRC)], **args)
+        assert second.items[0].cache == "hit"
+        assert second.items[0].lint_counts == first.items[0].lint_counts
+        assert second.items[0].result.deadlock.verdict == (
+            first.items[0].result.deadlock.verdict
+        )
+
+    def test_lint_entries_do_not_shadow_plain_runs(self, tmp_path):
+        run_batch([("crossed", CROSSED_SRC)], cache=tmp_path, lint=True)
+        plain = run_batch([("crossed", CROSSED_SRC)], cache=tmp_path)
+        assert plain.items[0].cache == "miss"  # distinct key
+        assert plain.items[0].lint_counts is None
+        assert not plain.items[0].result.deadlock.deadlock_free
+
+    def test_jsonl_exposes_counts_and_summary(self, tmp_path):
+        import json
+
+        report = run_batch(
+            [("h", HANDSHAKE_SRC), ("crossed", CROSSED_SRC)],
+            cache=tmp_path,
+            lint=True,
+        )
+        lines = [
+            json.loads(line) for line in report.to_jsonl().splitlines()
+        ]
+        items = {rec["label"]: rec for rec in lines if rec["kind"] == "item"}
+        assert items["h"]["lint_counts"] == {}
+        assert items["crossed"]["lint_counts"]["ADL010"] >= 1
+        summary = lines[-1]
+        assert summary["lint"]["enabled"] is True
+        assert summary["lint"]["diagnostics"] == sum(
+            items["crossed"]["lint_counts"].values()
+        )
+
+    def test_plain_batches_omit_counts(self, tmp_path):
+        report = run_batch([("h", HANDSHAKE_SRC)], cache=tmp_path)
+        assert report.items[0].lint_counts is None
+        payload = report.to_dict()
+        assert "lint_counts" not in payload["item_reports"][0]
+        assert payload["lint"] == {"enabled": False, "diagnostics": 0}
+
+    def test_parallel_lint_batch(self, tmp_path):
+        corpus = adl_corpus()
+        pairs = [
+            (name, entry.source) for name, entry in sorted(corpus.items())
+        ][:4]
+        report = run_batch(
+            pairs, jobs=2, cache=tmp_path / "cache", lint=True
+        )
+        assert report.ok
+        assert all(
+            item.lint_counts is not None for item in report.items
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -110,10 +110,10 @@ class TestDiagnostic:
 
 
 class TestRegistry:
-    def test_eleven_rules_registered(self):
+    def test_twelve_rules_registered(self):
         rules = all_rules()
         assert [r.rule_id for r in rules] == [
-            f"ADL{i:03d}" for i in range(1, 12)
+            f"ADL{i:03d}" for i in range(1, 13)
         ]
 
     def test_rules_have_paper_refs_and_summaries(self):
