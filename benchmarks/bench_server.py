@@ -1,0 +1,152 @@
+"""Daemon residency: repeat requests against one long-lived session.
+
+The daemon's entire reason to exist is that the one-shot CLI re-pays
+parse → inline → sync-graph → index construction on every invocation.
+This benchmark quantifies that: a corpus of programs is analyzed
+
+* **cold** — a fresh :class:`repro.server.Session` per request, the
+  one-shot cost the CLI pays every time;
+* **warm** — the same requests repeated against one resident session,
+  where the content-addressed LRU answers from memory;
+* **edited** — a comment-only ``didChange`` between repeats, proving
+  partial invalidation keeps the warm path warm.
+
+The headline number is the warm speedup, asserted ≥ 5x (in practice it
+is orders of magnitude — a dict probe vs the whole pipeline); the
+session's ``server.cache_hits`` counter must equal the number of warm
+requests, proving the speedup is residency and not noise.  Headline
+numbers land in ``BENCH_server.json``.
+
+Setting ``REPRO_PERF_SMOKE=1`` (the CI server-smoke job) shrinks the
+corpus so the benchmark doubles as a fast regression gate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _util import bench_once, print_table, write_bench_json
+from repro import obs
+from repro.lang.pretty import pretty
+from repro.server import Session
+from repro.workloads import random_serializable_program
+
+SMOKE = os.environ.get("REPRO_PERF_SMOKE") == "1"
+CORPUS_SIZE = 20 if SMOKE else 80
+WARM_ROUNDS = 3
+MIN_WARM_SPEEDUP = 5.0
+
+
+def _corpus():
+    programs = []
+    for seed in range(CORPUS_SIZE):
+        program = random_serializable_program(
+            tasks=4, rendezvous=10, messages=3, seed=seed
+        )
+        programs.append((f"mem:{program.name}-{seed}", pretty(program)))
+    return programs
+
+
+def _cold_pass(pairs):
+    """One-shot cost: a brand-new session for every request."""
+    verdicts = []
+    t0 = time.perf_counter()
+    for uri, text in pairs:
+        session = Session(store=None)
+        payload, _ = session.analyze_document(uri=uri, text=text)
+        verdicts.append(payload["deadlock"]["verdict"])
+    return verdicts, time.perf_counter() - t0
+
+
+def _warm_passes(session, pairs, rounds):
+    verdicts = []
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        for uri, _text in pairs:
+            payload, cache = session.analyze_document(uri=uri)
+            verdicts.append((payload["deadlock"]["verdict"], cache))
+    return verdicts, time.perf_counter() - t0
+
+
+def test_server_residency(benchmark):
+    pairs = _corpus()
+
+    cold_verdicts, cold_s = _cold_pass(pairs)
+
+    with obs.observed() as obs_session:
+        resident = Session(store=None)
+        # Populate the resident session (documents + LRU), untimed.
+        for uri, text in pairs:
+            resident.analyze_document(uri=uri, text=text)
+
+        def warm_scenario():
+            return _warm_passes(resident, pairs, WARM_ROUNDS)
+
+        (warm_verdicts, warm_s) = bench_once(benchmark, warm_scenario)
+
+        # Comment-only edits between rounds must keep the cache warm:
+        # partial invalidation + content-addressed keys.
+        for uri, text in pairs:
+            resident.change_document(uri, "-- touched\n" + text)
+        edited_verdicts, edited_s = _warm_passes(resident, pairs, 1)
+
+    warm_requests = CORPUS_SIZE * WARM_ROUNDS
+    cold_per_req = cold_s / CORPUS_SIZE
+    warm_per_req = warm_s / warm_requests
+    speedup = cold_per_req / warm_per_req
+
+    rows = [
+        ("cold (fresh session each)", f"{cold_s:.3f}",
+         f"{1e3 * cold_per_req:.2f}"),
+        (f"warm (resident, {WARM_ROUNDS} rounds)", f"{warm_s:.3f}",
+         f"{1e3 * warm_per_req:.2f}"),
+        ("after comment-only edits", f"{edited_s:.3f}",
+         f"{1e3 * edited_s / CORPUS_SIZE:.2f}"),
+    ]
+    print_table(
+        f"Server residency, {CORPUS_SIZE} programs",
+        ["configuration", "wall s", "ms/request"],
+        rows,
+    )
+
+    # Verdict parity: residency must never change an answer.
+    assert [v for v, _ in warm_verdicts] == cold_verdicts * WARM_ROUNDS
+    assert [v for v, _ in edited_verdicts] == cold_verdicts
+    # Every warm request answered from resident state...
+    assert all(cache == "memory" for _, cache in warm_verdicts)
+    # ...including after the formatting-only edits...
+    assert all(cache == "memory" for _, cache in edited_verdicts)
+    # ...and the counters agree (requests + the mirrored obs counter).
+    hits = resident.counters["cache_hits"]
+    assert hits == warm_requests + CORPUS_SIZE
+    assert (
+        obs_session.registry.counter_value("server.cache_hits") == hits
+    )
+    assert (
+        resident.counters["invalidations_partial"] == CORPUS_SIZE
+    )
+    # The acceptance bar: ≥ 5x. In practice this is vastly exceeded —
+    # a warm request is an LRU probe, not a pipeline run.
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm speedup {speedup:.1f}x below {MIN_WARM_SPEEDUP}x"
+    )
+
+    write_bench_json(
+        "BENCH_server.json",
+        {
+            "corpus_size": CORPUS_SIZE,
+            "warm_rounds": WARM_ROUNDS,
+            "smoke": SMOKE,
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "edited_s": round(edited_s, 4),
+            "cold_ms_per_request": round(1e3 * cold_per_req, 4),
+            "warm_ms_per_request": round(1e3 * warm_per_req, 4),
+            "warm_speedup": round(speedup, 1),
+            "cache_hits": hits,
+            "partial_invalidations": resident.counters[
+                "invalidations_partial"
+            ],
+        },
+    )

@@ -24,10 +24,13 @@ Quick start::
 from .api import (
     ALGORITHMS,
     AnalysisResult,
+    PreparedProgram,
     analyze,
     analyze_many,
+    analyze_prepared,
     certify_deadlock_free,
     certify_stall_free,
+    prepare,
 )
 from .errors import (
     AnalysisError,
@@ -54,6 +57,7 @@ __all__ = [
     "IrreducibleFlowError",
     "LexError",
     "ParseError",
+    "PreparedProgram",
     "Program",
     "ProgramBuilder",
     "ReproError",
@@ -62,8 +66,10 @@ __all__ = [
     "__version__",
     "analyze",
     "analyze_many",
+    "analyze_prepared",
     "certify_deadlock_free",
     "certify_stall_free",
     "parse_program",
+    "prepare",
     "pretty",
 ]

@@ -53,11 +53,15 @@ if TYPE_CHECKING:  # pragma: no cover - farm imports api at runtime
 __all__ = [
     "ALGORITHMS",
     "BACKEND_AWARE",
+    "INDEX_AWARE",
     "AnalysisResult",
+    "PreparedProgram",
     "analyze",
     "analyze_many",
+    "analyze_prepared",
     "certify_deadlock_free",
     "certify_stall_free",
+    "prepare",
 ]
 
 # Every value is a named module-level callable so the registry (and
@@ -78,6 +82,12 @@ ALGORITHMS: Dict[str, Callable[[SyncGraph], DeadlockReport]] = {
 # implementation each.
 BACKEND_AWARE = frozenset(ALGORITHMS) - {"naive"}
 
+# Algorithms whose runner additionally accepts a prebuilt
+# AnalysisIndex via index= ("k-pairs-3" builds its own per k).  Long-
+# lived callers (repro.server) share one index per program across
+# repeated analyses instead of rebuilding the bitset mirrors each run.
+INDEX_AWARE = BACKEND_AWARE - {"k-pairs-3"}
+
 
 @dataclass
 class AnalysisResult:
@@ -93,6 +103,11 @@ class AnalysisResult:
     # `analyzed_program is not program`: procedure inlining alone also
     # swaps the program object.
     loops_transformed: bool = False
+    # Where the source came from: a file path, or a synthetic URI for
+    # in-memory buffers (e.g. "untitled:scratch-1" from an editor via
+    # repro.server).  Provenance only — never part of the JSON report
+    # payload, so CLI and server output stay byte-identical.
+    uri: Optional[str] = None
 
     def describe(self) -> str:
         lines = [f"program {self.program.name}:"]
@@ -112,12 +127,198 @@ def _coerce(program: Union[str, Program]) -> Program:
     return program
 
 
+@dataclass
+class PreparedProgram:
+    """Everything ``analyze`` computes *before* picking a detector.
+
+    The front half of the pipeline — parse, inline, validate, Lemma-1
+    unroll, sync-graph build — depends only on the program, not on the
+    algorithm/backend/budget of a particular request.  Long-lived
+    callers (:mod:`repro.server`) prepare once per document and run
+    :func:`analyze_prepared` per request, so repeated analyses of the
+    same source never re-pay the front half.
+    """
+
+    source_program: Program
+    inlined: Program
+    validation: ValidationReport
+    analyzed: Program  # after the Lemma-1 unroll, if it fired
+    transformed: bool
+    procedures_inlined: bool
+    sync_graph: SyncGraph
+    # True when the unroll only approximated loop behaviour (guarded
+    # copies bound iterations at two) — exact search must then walk the
+    # pre-unroll graph.
+    approximated: bool
+    _exact_graph: Optional[SyncGraph] = None
+
+    @property
+    def exact_graph(self) -> SyncGraph:
+        """The graph exact wave exploration must search.
+
+        The Lemma-1 guarded copies bound while-loop iterations at two,
+        which preserves the static CLG analysis but not exact wave
+        semantics (a deadlock needing a third iteration exists only in
+        the original graph), so when the unroll was approximate this is
+        the pre-unroll graph — built lazily and cached.
+        """
+        if not self.approximated:
+            return self.sync_graph
+        if self._exact_graph is None:
+            self._exact_graph = build_sync_graph(self.inlined)
+        return self._exact_graph
+
+
+def prepare(program: Union[str, Program]) -> PreparedProgram:
+    """Run the algorithm-independent front half of the pipeline."""
+    with obs.span("analyze.parse"):
+        source_program = _coerce(program)
+    with obs.span("analyze.inline"):
+        inlined, procedures_inlined = inline_procedures(source_program)
+    with obs.span("analyze.validate"):
+        validation = validate_program(inlined)
+    with obs.span("analyze.unroll") as unroll_span:
+        analyzed, transformed = remove_loops(inlined)
+        unroll_span.set_attribute("transformed", transformed)
+    with obs.span("analyze.sync_graph") as sg_span:
+        graph = build_sync_graph(analyzed)
+        sg_span.set_attribute("nodes", len(graph.rendezvous_nodes))
+    return PreparedProgram(
+        source_program=source_program,
+        inlined=inlined,
+        validation=validation,
+        analyzed=analyzed,
+        transformed=transformed,
+        procedures_inlined=procedures_inlined,
+        sync_graph=graph,
+        approximated=transformed and has_approximated_loops(inlined),
+    )
+
+
+def _finish(
+    prep: PreparedProgram,
+    algorithm: str,
+    exact: bool,
+    state_limit: int,
+    backend: str,
+    index=None,
+    engine=None,
+    uri: Optional[str] = None,
+) -> AnalysisResult:
+    """Back half of the pipeline: detector + stall analysis + assembly."""
+    graph = prep.sync_graph
+    with obs.span("analyze.deadlock", algorithm=algorithm):
+        if exact or algorithm == "exact":
+            result = explore(
+                prep.exact_graph,
+                state_limit=state_limit,
+                backend=backend,
+                engine=engine,
+                on_limit="partial",
+            )
+            # A limited run that found no deadlock proves nothing:
+            # stay conservative instead of certifying blind.
+            deadlock = DeadlockReport(
+                verdict=(
+                    Verdict.POSSIBLE_DEADLOCK
+                    if result.has_deadlock or result.limited
+                    else Verdict.CERTIFIED_FREE
+                ),
+                algorithm="exact-waves",
+                stats={
+                    "feasible_waves": result.visited_count,
+                    "exploration_limited": result.limited,
+                    "explored_pre_unroll_graph": prep.approximated,
+                },
+            )
+        else:
+            try:
+                runner = ALGORITHMS[algorithm]
+            except KeyError:
+                raise AnalysisError(
+                    f"unknown algorithm {algorithm!r}; choose one of "
+                    f"{sorted(ALGORITHMS)} or 'exact'"
+                ) from None
+            if algorithm in INDEX_AWARE and index is not None:
+                deadlock = runner(graph, backend=backend, index=index)
+            elif algorithm in BACKEND_AWARE:
+                deadlock = runner(graph, backend=backend)
+            else:
+                deadlock = runner(graph)
+    deadlock.loops_transformed = prep.transformed
+    if prep.approximated and not (exact or algorithm == "exact"):
+        # Static verdicts on a guarded-copy unroll are conservative
+        # but exact *refutation* on that graph would not be: flag it
+        # so confirmation (repro.analysis.confirm) knows the graph
+        # under-approximates loop behaviours.
+        deadlock.stats["unroll_approximated"] = True
+    if prep.procedures_inlined:
+        deadlock.stats["procedures_inlined"] = len(
+            prep.source_program.procedures
+        )
+
+    with obs.span("analyze.stall"):
+        stall = stall_analysis(prep.inlined)
+    if obs.is_enabled():
+        obs.counter("analyze.runs").inc()
+        obs.gauge("syncgraph.rendezvous_nodes").set(
+            len(graph.rendezvous_nodes)
+        )
+        obs.gauge("syncgraph.tasks").set(len(graph.tasks))
+    return AnalysisResult(
+        program=prep.source_program,
+        analyzed_program=prep.analyzed
+        if (prep.transformed or prep.procedures_inlined)
+        else prep.source_program,
+        validation=prep.validation,
+        sync_graph=graph,
+        deadlock=deadlock,
+        stall=stall,
+        loops_transformed=prep.transformed,
+        uri=uri,
+    )
+
+
+def analyze_prepared(
+    prep: PreparedProgram,
+    algorithm: str = "refined",
+    exact: bool = False,
+    state_limit: int = 200_000,
+    backend: str = "index",
+    index=None,
+    engine=None,
+    uri: Optional[str] = None,
+) -> AnalysisResult:
+    """Run the detector half of :func:`analyze` on a prepared program.
+
+    Verdicts, evidence, stats, and the serialized report are identical
+    to a fresh :func:`analyze` of the same source — the split only
+    skips re-computing the front half.  ``index`` optionally shares a
+    prebuilt :class:`~repro.analysis.index.AnalysisIndex` with the
+    :data:`INDEX_AWARE` algorithms; ``engine`` shares a prebuilt
+    :class:`~repro.waves.engine.WaveIndex` with exact exploration (it
+    must have been built over ``prep.exact_graph``).
+    """
+    with obs.span("analyze", algorithm=algorithm):
+        return _finish(
+            prep,
+            algorithm=algorithm,
+            exact=exact,
+            state_limit=state_limit,
+            backend=backend,
+            index=index,
+            engine=engine,
+            uri=uri,
+        )
+
+
 def analyze(
     program: Union[str, Program],
     algorithm: str = "refined",
     exact: bool = False,
     state_limit: int = 200_000,
     backend: str = "index",
+    uri: Optional[str] = None,
 ) -> AnalysisResult:
     """Run the full static pipeline on ``program``.
 
@@ -137,98 +338,21 @@ def analyze(
     longer raises — the report conservatively stays
     ``possible-deadlock`` with ``stats["exploration_limited"]`` set,
     and any deadlock wave found before exhaustion still counts.
+
+    ``uri`` records where the source came from (file path or a
+    synthetic editor-buffer URI) on the result; it never changes the
+    analysis or the serialized report.
     """
     with obs.span("analyze", algorithm=algorithm):
-        with obs.span("analyze.parse"):
-            source_program = _coerce(program)
-        with obs.span("analyze.inline"):
-            inlined, procedures_inlined = inline_procedures(source_program)
-        with obs.span("analyze.validate"):
-            validation = validate_program(inlined)
-        with obs.span("analyze.unroll") as unroll_span:
-            analyzed, transformed = remove_loops(inlined)
-            unroll_span.set_attribute("transformed", transformed)
-        with obs.span("analyze.sync_graph") as sg_span:
-            graph = build_sync_graph(analyzed)
-            sg_span.set_attribute("nodes", len(graph.rendezvous_nodes))
-
-        approximated = transformed and has_approximated_loops(inlined)
-        with obs.span("analyze.deadlock", algorithm=algorithm):
-            if exact or algorithm == "exact":
-                # The Lemma-1 guarded copies bound while-loop iterations
-                # at two, which preserves the static CLG analysis but
-                # not exact wave semantics (a deadlock needing a third
-                # iteration exists only in the original graph).  Exact
-                # search therefore runs on the pre-unroll graph when the
-                # unroll was approximate — waves are memoized, so the
-                # search still terminates on cyclic control flow.
-                exact_graph = (
-                    build_sync_graph(inlined) if approximated else graph
-                )
-                result = explore(
-                    exact_graph,
-                    state_limit=state_limit,
-                    backend=backend,
-                    on_limit="partial",
-                )
-                # A limited run that found no deadlock proves nothing:
-                # stay conservative instead of certifying blind.
-                deadlock = DeadlockReport(
-                    verdict=(
-                        Verdict.POSSIBLE_DEADLOCK
-                        if result.has_deadlock or result.limited
-                        else Verdict.CERTIFIED_FREE
-                    ),
-                    algorithm="exact-waves",
-                    stats={
-                        "feasible_waves": result.visited_count,
-                        "exploration_limited": result.limited,
-                        "explored_pre_unroll_graph": approximated,
-                    },
-                )
-            else:
-                try:
-                    runner = ALGORITHMS[algorithm]
-                except KeyError:
-                    raise AnalysisError(
-                        f"unknown algorithm {algorithm!r}; choose one of "
-                        f"{sorted(ALGORITHMS)} or 'exact'"
-                    ) from None
-                if algorithm in BACKEND_AWARE:
-                    deadlock = runner(graph, backend=backend)
-                else:
-                    deadlock = runner(graph)
-        deadlock.loops_transformed = transformed
-        if approximated and not (exact or algorithm == "exact"):
-            # Static verdicts on a guarded-copy unroll are conservative
-            # but exact *refutation* on that graph would not be: flag it
-            # so confirmation (repro.analysis.confirm) knows the graph
-            # under-approximates loop behaviours.
-            deadlock.stats["unroll_approximated"] = True
-        if procedures_inlined:
-            deadlock.stats["procedures_inlined"] = len(
-                source_program.procedures
-            )
-
-        with obs.span("analyze.stall"):
-            stall = stall_analysis(inlined)
-        if obs.is_enabled():
-            obs.counter("analyze.runs").inc()
-            obs.gauge("syncgraph.rendezvous_nodes").set(
-                len(graph.rendezvous_nodes)
-            )
-            obs.gauge("syncgraph.tasks").set(len(graph.tasks))
-    return AnalysisResult(
-        program=source_program,
-        analyzed_program=analyzed
-        if (transformed or procedures_inlined)
-        else source_program,
-        validation=validation,
-        sync_graph=graph,
-        deadlock=deadlock,
-        stall=stall,
-        loops_transformed=transformed,
-    )
+        prep = prepare(program)
+        return _finish(
+            prep,
+            algorithm=algorithm,
+            exact=exact,
+            state_limit=state_limit,
+            backend=backend,
+            uri=uri,
+        )
 
 
 def analyze_many(

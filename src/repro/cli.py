@@ -21,6 +21,15 @@ Examples::
     repro-analyze --batch corpus/ --jobs 8
     repro-analyze --batch corpus/ 'extra/*.adl' --jsonl-out report.jsonl
     repro-analyze --batch corpus/ --no-cache --timeout 30
+    repro-analyze serve
+    repro-analyze serve --http 127.0.0.1:8171
+
+Under ``--json`` (and ``--jsonl-out``) stdout carries *only* the JSON
+payload — one parseable document (or one per line) and nothing else.
+Human-readable chatter — trace renders, progress, warnings — always
+goes to stderr in JSON mode, so ``repro-analyze f.adl --json | jq .``
+can never choke on interleaved text.  :func:`_chatter` is the single
+routing point enforcing this.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from .analysis.confirm import confirm_analysis
 from .api import ALGORITHMS, analyze
 from .errors import ReproError
 from .interp.runtime import sample_runs
+from .reporting import render_json
 from .syncgraph.clg import build_clg
 from .syncgraph.dot import clg_to_dot, sync_graph_to_dot
 
@@ -266,7 +276,19 @@ def _report_json(
         payload.setdefault("metrics", {}).update(
             compute_metrics(result.sync_graph).to_dict()
         )
-    return json.dumps(payload, indent=2)
+    return render_json(payload)
+
+
+def _chatter(args, *values, **kwargs) -> None:
+    """Print human-readable chatter without dirtying JSON stdout.
+
+    The single routing point for anything that is not the machine
+    payload: in ``--json`` mode it goes to stderr (stdout carries
+    exactly one parseable document), otherwise to stdout.  New
+    informational output must go through here, never bare ``print``.
+    """
+    stream = sys.stderr if getattr(args, "json", False) else sys.stdout
+    print(*values, file=stream, **kwargs)
 
 
 def _split_rules(spec: str) -> List[str]:
@@ -362,15 +384,13 @@ def _lint_main(args, source: str, source_path: str) -> int:
             )
         if snapshot is not None:
             payload["metrics"] = snapshot
-        print(json.dumps(payload, indent=2))
-        if args.trace and session is not None:
-            print(session.tracer.render(), file=sys.stderr)
+        print(render_json(payload))
     else:
         print(render_text(result))
         if repair is not None:
             print(repair.describe())
-        if args.trace and session is not None:
-            print(session.tracer.render())
+    if args.trace and session is not None:
+        _chatter(args, session.tracer.render())
 
     return 1 if result.fails(args.fail_on) else 0
 
@@ -418,18 +438,24 @@ def _batch_main(args) -> int:
         payload = report.to_dict()
         if snapshot is not None:
             payload["metrics"] = snapshot
-        print(json.dumps(payload, indent=2))
-        if args.trace and session is not None:
-            print(session.tracer.render(), file=sys.stderr)
+        print(render_json(payload))
     else:
         print(report.describe())
-        if args.trace and session is not None:
-            print(session.tracer.render())
+    if args.trace and session is not None:
+        _chatter(args, session.tracer.render())
 
     return 0 if report.deadlock_free else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        # The daemon has its own option surface; hand off before the
+        # one-shot parser can reject its flags.  ``repro serve`` ==
+        # ``python -m repro.server``.
+        from .server.__main__ import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
     if args.batch:
         return _batch_main(args)
@@ -527,12 +553,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 repair,
             )
         )
-        if args.trace and session is not None:
-            print(session.tracer.render(), file=sys.stderr)
     else:
         print(result.describe())
-        if args.trace and session is not None:
-            print(session.tracer.render())
         if args.stats:
             from .syncgraph.metrics import compute_metrics
 
@@ -553,6 +575,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     result.program, fix, path=source_path
                 )
                 print(diff, end="" if diff.endswith("\n") else "\n")
+    if args.trace and session is not None:
+        _chatter(args, session.tracer.render())
 
     certified = (
         confirmation.final_verdict == "certified-deadlock-free"

@@ -30,6 +30,7 @@ from .cache import (
     CACHE_FORMAT,
     PIPELINE_VERSION,
     CacheStats,
+    LruFront,
     ResultCache,
     cache_key,
     canonical_source,
@@ -62,6 +63,7 @@ __all__ = [
     "STATUS_TIMEOUT",
     "BatchReport",
     "CacheStats",
+    "LruFront",
     "ItemReport",
     "ResultCache",
     "WorkItem",

@@ -45,6 +45,7 @@ __all__ = [
     "PIPELINE_VERSION",
     "CACHE_FORMAT",
     "CacheStats",
+    "LruFront",
     "ResultCache",
     "cache_key",
     "canonical_source",
@@ -61,10 +62,15 @@ __all__ = [
 # Lemma-1 only approximated (stats gain unroll_approximated /
 # explored_pre_unroll_graph), and lint-enabled batch entries store a
 # {"analysis", "lint_counts"} wrapper (PR 7).
-PIPELINE_VERSION = 4
+# v5: AnalysisResult gained the source-provenance ``uri`` field
+# (repro.server in-memory buffers); older pickles miss the attribute.
+PIPELINE_VERSION = 5
 
 # On-disk envelope format, independent of analysis semantics.
 CACHE_FORMAT = 1
+
+# Distinguishes "key absent" from a legitimately cached None.
+_MISS = object()
 
 
 def canonical_source(program: Union[str, "Program"]) -> str:
@@ -139,6 +145,70 @@ class CacheStats:
         }
 
 
+class LruFront:
+    """A bounded, introspectable LRU map: the in-memory cache front.
+
+    Extracted from :class:`ResultCache` so any long-lived holder of hot
+    analysis state — the result cache, :class:`repro.server.Session` —
+    shares one LRU implementation with uniform size/hit/miss
+    introspection (:meth:`snapshot`), instead of each growing a private
+    ``OrderedDict`` with ad-hoc counters.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDictT[str, object] = OrderedDict()
+
+    def get(self, key: str, default=None):
+        """The value for ``key`` (refreshing recency), else ``default``."""
+        if key not in self._entries:
+            self.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return self._entries[key]
+
+    def put(self, key: str, value) -> int:
+        """Store ``key`` and return how many entries were evicted."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        evicted = 0
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def items(self):
+        """Current ``(key, value)`` pairs, least recently used first."""
+        return list(self._entries.items())
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        # Pure membership probe: no recency refresh, no counter churn.
+        return key in self._entries
+
+    def snapshot(self) -> dict:
+        """Introspection payload for status endpoints / obs gauges."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
 class ResultCache:
     """Two-level cache: in-memory LRU over a pickle-per-entry directory.
 
@@ -158,7 +228,7 @@ class ResultCache:
         self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self.memory_entries = memory_entries
         self.stats = CacheStats()
-        self._memory: OrderedDictT[str, "AnalysisResult"] = OrderedDict()
+        self.front = LruFront(max_entries=memory_entries)
 
     # -- paths -----------------------------------------------------------
 
@@ -170,10 +240,10 @@ class ResultCache:
 
     def get(self, key: str) -> Optional["AnalysisResult"]:
         """The cached result for ``key``, or None (miss)."""
-        if key in self._memory:
-            self._memory.move_to_end(key)
+        cached = self.front.get(key, _MISS)
+        if cached is not _MISS:
             self.stats.hits += 1
-            return self._memory[key]
+            return cached
         result = self._load_disk(key)
         if result is None:
             self.stats.misses += 1
@@ -198,9 +268,25 @@ class ResultCache:
             # A read-only or full cache dir degrades to memory-only.
             self.stats.errors += 1
 
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` is resident (front or disk), without loading.
+
+        A pure probe: no stats churn, no LRU refresh, no unpickling —
+        used by flush paths that only need to know if a store round-trip
+        can be skipped.
+        """
+        return key in self.front or self.on_disk(key)
+
+    def on_disk(self, key: str) -> bool:
+        """Whether ``key`` has a disk entry — i.e. survives this
+        process.  Flush paths use this rather than :meth:`contains`,
+        which the memory front would satisfy even after the file is
+        gone."""
+        return self._entry_path(key).exists()
+
     def clear(self) -> None:
         """Drop the memory front and delete every disk entry."""
-        self._memory.clear()
+        self.front.clear()
         if not self.cache_dir.exists():
             return
         for entry in self.cache_dir.glob("??/*.pkl"):
@@ -218,11 +304,7 @@ class ResultCache:
     # -- internals -------------------------------------------------------
 
     def _remember(self, key: str, result: "AnalysisResult") -> None:
-        self._memory[key] = result
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.memory_entries:
-            self._memory.popitem(last=False)
-            self.stats.evictions += 1
+        self.stats.evictions += self.front.put(key, result)
 
     def _load_disk(self, key: str) -> Optional["AnalysisResult"]:
         path = self._entry_path(key)

@@ -55,6 +55,7 @@ __all__ = [
     "histogram",
     "is_enabled",
     "observed",
+    "snapshot",
     "span",
 ]
 
@@ -102,6 +103,20 @@ def observed(
         yield _active
     finally:
         _active = previous
+
+
+def snapshot() -> Optional[dict]:
+    """The JSON metrics snapshot of the active session, or ``None``.
+
+    Convenience for long-lived processes (:mod:`repro.server`) that
+    surface their counters over a status endpoint without importing the
+    export module at every call site.
+    """
+    if _active is None:
+        return None
+    from .export import session_to_dict
+
+    return session_to_dict(_active)
 
 
 def span(name: str, **attributes: Any):

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
+import json
+
 from .analysis.confirm import ConfirmedReport
 from .analysis.results import DeadlockEvidence, DeadlockReport, StallReport
 from .api import AnalysisResult
@@ -22,6 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from .repair.model import RepairReport
 
 __all__ = [
+    "render_json",
     "deadlock_report_to_dict",
     "stall_report_to_dict",
     "validation_to_dict",
@@ -46,6 +49,18 @@ __all__ = [
 #    "unroll_approximated" / "explored_pre_unroll_graph" from the
 #    exact-path loop-faithfulness fix.
 SCHEMA_VERSION = 4
+
+
+def render_json(payload: Dict[str, Any]) -> str:
+    """The canonical JSON rendering of a report payload.
+
+    One definition of the output format (two-space indent, default
+    separators, no trailing newline) shared by the CLI, the protocol
+    tests, and clients of :mod:`repro.server` — the daemon ships the
+    same payload dicts compactly, and re-rendering them through this
+    function reproduces the one-shot CLI's stdout byte for byte.
+    """
+    return json.dumps(payload, indent=2)
 
 
 def _evidence_to_dict(evidence: DeadlockEvidence) -> Dict[str, Any]:

@@ -1,0 +1,327 @@
+"""The daemon proper: request loop, worker thread, graceful shutdown.
+
+Structure::
+
+    stdin ──reader (main thread)──▶ bounded queue ──worker thread──▶ stdout
+
+The reader decodes each line and enqueues it; a **single analysis
+worker** drains the queue, runs the handler against the shared
+:class:`~repro.server.session.Session`, and writes one response line
+per request.  One worker means analysis requests are processed strictly
+in arrival order and the session needs no locking; the bounded queue
+(:data:`DEFAULT_QUEUE_SIZE`) keeps a flood of requests from buffering
+unboundedly — overflow is rejected immediately with ``SERVER_BUSY``
+rather than silently queued.
+
+Shutdown is graceful from all three triggers — a ``shutdown`` request,
+SIGTERM, or SIGINT: the reader stops accepting input, the worker drains
+every request already queued (each still gets its response), resident
+results are flushed to the disk store, and the process exits 0.
+Per-request wall-clock budgets apply to exact-exploration requests
+(``params.timeout``), which run in a farm worker process so an overrun
+can be terminated preemptively; a timed-out request answers with code
+1001 and the daemon keeps serving.
+"""
+
+from __future__ import annotations
+
+import queue
+import signal
+import sys
+import threading
+from typing import Any, Dict, Optional, TextIO
+
+from .. import obs
+from ..errors import ReproError
+from .protocol import (
+    ANALYSIS_ERROR,
+    INTERNAL_ERROR,
+    INVALID_PARAMS,
+    METHOD_NOT_FOUND,
+    REQUEST_TIMEOUT,
+    SERVER_BUSY,
+    SHUTTING_DOWN,
+    ProtocolError,
+    Request,
+    RequestTimeout,
+    decode_request,
+    dumps,
+    error_response,
+    response,
+)
+from .session import Session
+
+__all__ = ["AnalysisServer", "DEFAULT_QUEUE_SIZE", "serve_stdio"]
+
+DEFAULT_QUEUE_SIZE = 64
+
+# Queue sentinel: no more requests will arrive, drain and stop.
+_EOF = object()
+
+
+class _SignalStop(Exception):
+    """Raised in the reader loop by SIGTERM/SIGINT handlers."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"signal {signum}")
+        self.signum = signum
+
+
+class AnalysisServer:
+    """One daemon instance: a session plus the request machinery.
+
+    Usable three ways: :meth:`serve` runs the full stdio loop;
+    :meth:`handle_line` / :meth:`handle_request` process a single
+    request synchronously (the HTTP front end and the protocol tests
+    drive these directly, no threads involved).
+    """
+
+    def __init__(
+        self,
+        session: Optional[Session] = None,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+    ) -> None:
+        self.session = session if session is not None else Session()
+        self.queue: "queue.Queue" = queue.Queue(maxsize=queue_size)
+        self.shutting_down = threading.Event()
+        self.flushed: Optional[int] = None
+        self._write_lock = threading.Lock()
+        self._handlers = {
+            "analyze": self._handle_analyze,
+            "lint": self._handle_lint,
+            "repair": self._handle_repair,
+            "batch": self._handle_batch,
+            "didOpen": self._handle_did_open,
+            "didChange": self._handle_did_change,
+            "didClose": self._handle_did_close,
+            "status": self._handle_status,
+            "ping": self._handle_ping,
+            "shutdown": self._handle_shutdown,
+        }
+
+    # -- single-request path ---------------------------------------------
+
+    def handle_line(self, line: str) -> Dict[str, Any]:
+        """Decode and serve one request line; always returns a response."""
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            return error_response(None, exc.code, str(exc))
+        return self.handle_request(request)
+
+    def handle_request(self, request: Request) -> Dict[str, Any]:
+        """Serve one decoded request; exceptions become error responses."""
+        self.session._count("requests", "server.requests")
+        if obs.is_enabled():
+            obs.counter("server.requests.by_method", method=request.method).inc()
+        handler = self._handlers.get(request.method)
+        if handler is None:
+            return error_response(
+                request.id,
+                METHOD_NOT_FOUND,
+                f"unknown method {request.method!r}; methods: "
+                + ", ".join(sorted(self._handlers)),
+            )
+        try:
+            return response(request.id, handler(request.params))
+        except RequestTimeout as exc:
+            return error_response(request.id, REQUEST_TIMEOUT, str(exc))
+        except ReproError as exc:
+            return error_response(
+                request.id,
+                ANALYSIS_ERROR,
+                f"{type(exc).__name__}: {exc}",
+            )
+        except (TypeError, ValueError, KeyError) as exc:
+            return error_response(request.id, INVALID_PARAMS, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            return error_response(
+                request.id,
+                INTERNAL_ERROR,
+                f"{type(exc).__name__}: {exc}",
+            )
+
+    # -- handlers --------------------------------------------------------
+
+    def _handle_analyze(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        payload, cache = self.session.analyze_document(
+            uri=params.get("uri"),
+            text=params.get("text"),
+            algorithm=params.get("algorithm", "refined"),
+            exact=bool(params.get("exact", False)),
+            state_limit=int(params.get("state_limit", 200_000)),
+            backend=params.get("backend", "index"),
+            timeout=params.get("timeout"),
+        )
+        return {"report": payload, "cache": cache}
+
+    def _handle_lint(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        payload, sarif_doc, cache = self.session.lint_document(
+            uri=params.get("uri"),
+            text=params.get("text"),
+            disable=params.get("disable", ()),
+            select=params.get("select"),
+            sarif=bool(params.get("sarif", False)),
+        )
+        result: Dict[str, Any] = {"report": payload, "cache": cache}
+        if sarif_doc is not None:
+            result["sarif"] = sarif_doc
+        return result
+
+    def _handle_repair(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        payload, cache = self.session.repair_document(
+            uri=params.get("uri"),
+            text=params.get("text"),
+            algorithm=params.get("algorithm", "refined"),
+            backend=params.get("backend", "index"),
+            state_limit=int(params.get("state_limit", 200_000)),
+            max_fixes=int(params.get("max_fixes", 5)),
+        )
+        return {"report": payload, "cache": cache}
+
+    def _handle_batch(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "report": self.session.run_batch(
+                items=params.get("items"),
+                paths=params.get("paths"),
+                algorithm=params.get("algorithm", "refined"),
+                state_limit=int(params.get("state_limit", 200_000)),
+                jobs=int(params.get("jobs", 1)),
+                timeout=params.get("timeout"),
+                backend=params.get("backend", "index"),
+                lint=bool(params.get("lint", False)),
+            )
+        }
+
+    def _handle_did_open(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        uri = params["uri"]
+        doc = self.session.open_document(
+            uri, params["text"], version=int(params.get("version", 1))
+        )
+        return {"uri": uri, "version": doc.version, "opened": True}
+
+    def _handle_did_change(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return self.session.change_document(
+            params["uri"],
+            params["text"],
+            version=params.get("version"),
+            ranges=params.get("ranges"),
+        )
+
+    def _handle_did_close(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        uri = params["uri"]
+        return {"uri": uri, "closed": self.session.close_document(uri)}
+
+    def _handle_status(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return self.session.status()
+
+    def _handle_ping(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return {"pong": True}
+
+    def _handle_shutdown(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        self.shutting_down.set()
+        self.flushed = self.session.flush()
+        return {"ok": True, "flushed": self.flushed}
+
+    # -- stdio loop ------------------------------------------------------
+
+    def _write(self, out: TextIO, obj: Dict[str, Any]) -> None:
+        with self._write_lock:
+            out.write(dumps(obj) + "\n")
+            out.flush()
+
+    def _worker(self, out: TextIO) -> None:
+        while True:
+            item = self.queue.get()
+            if item is _EOF:
+                return
+            self._write(out, self.handle_request(item))
+
+    def serve(
+        self,
+        stdin: Optional[TextIO] = None,
+        stdout: Optional[TextIO] = None,
+        install_signal_handlers: bool = True,
+    ) -> int:
+        """Run the stdio loop until EOF, ``shutdown``, or a signal.
+
+        Returns the process exit code (0 for every graceful path).
+        """
+        stdin = stdin if stdin is not None else sys.stdin
+        out = stdout if stdout is not None else sys.stdout
+
+        previous: Dict[int, Any] = {}
+        if install_signal_handlers:
+
+            def _on_signal(signum: int, frame: Any) -> None:
+                raise _SignalStop(signum)
+
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    previous[sig] = signal.signal(sig, _on_signal)
+                except ValueError:  # pragma: no cover - non-main thread
+                    pass
+
+        worker = threading.Thread(
+            target=self._worker, args=(out,), daemon=True
+        )
+        worker.start()
+        try:
+            for line in stdin:
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_request(line)
+                except ProtocolError as exc:
+                    self._write(
+                        out, error_response(None, exc.code, str(exc))
+                    )
+                    continue
+                if self.shutting_down.is_set():
+                    self._write(
+                        out,
+                        error_response(
+                            request.id,
+                            SHUTTING_DOWN,
+                            "server is shutting down",
+                        ),
+                    )
+                    continue
+                try:
+                    self.queue.put_nowait(request)
+                except queue.Full:
+                    self._write(
+                        out,
+                        error_response(
+                            request.id,
+                            SERVER_BUSY,
+                            f"request queue is full "
+                            f"({self.queue.maxsize} pending)",
+                        ),
+                    )
+                    continue
+                if request.method == "shutdown":
+                    # The worker answers it (after draining everything
+                    # queued ahead); the reader stops accepting now.
+                    break
+        except (_SignalStop, KeyboardInterrupt):
+            self.shutting_down.set()
+        finally:
+            # Drain: everything already queued still gets its response.
+            self.queue.put(_EOF)
+            worker.join()
+            if self.flushed is None:
+                # Shutdown came from EOF or a signal, not a request;
+                # flush here so the next start is just as warm.
+                self.flushed = self.session.flush()
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+        return 0
+
+
+def serve_stdio(
+    session: Optional[Session] = None,
+    queue_size: int = DEFAULT_QUEUE_SIZE,
+) -> int:
+    """Create an :class:`AnalysisServer` and run it over stdio."""
+    return AnalysisServer(session=session, queue_size=queue_size).serve()

@@ -1,0 +1,129 @@
+"""Optional HTTP front end over the same request machinery.
+
+Stdlib-only (``http.server``); the daemon's primary transport is stdio,
+and this exists for clients that would rather ``curl`` than manage a
+child process::
+
+    $ repro serve --http 127.0.0.1:8171
+    $ curl -s localhost:8171/rpc -d \\
+        '{"id":1,"method":"analyze","params":{"text":"..."}}'
+
+Endpoints:
+
+``POST /rpc``
+    One protocol request per call, same JSON body and response as a
+    stdio line (see :mod:`repro.server.protocol`).  A ``shutdown``
+    request stops the HTTP server after the response is sent.
+``GET /status``
+    The ``status`` result directly (no JSON-RPC envelope).
+``GET /healthz``
+    ``{"ok": true}`` — liveness only, touches no session state.
+
+Requests are served sequentially by the single HTTP thread, matching
+the stdio loop's one-worker ordering guarantee; the session object is
+shared, so stdio and HTTP can front the same daemon state in tests.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from typing import Optional, Tuple
+
+from .daemon import AnalysisServer
+from .protocol import dumps
+
+__all__ = ["make_http_server", "serve_http"]
+
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-server"
+    protocol_version = "HTTP/1.1"
+
+    # The AnalysisServer rides on the HTTPServer instance (set by
+    # make_http_server); BaseHTTPRequestHandler instantiates per request.
+    @property
+    def analysis(self) -> AnalysisServer:
+        return self.server.analysis  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        # Default implementation writes access logs to stderr; the
+        # daemon's chatter policy keeps even stderr quiet unless asked.
+        pass
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            self._send_json(200, {"ok": True})
+        elif self.path == "/status":
+            self._send_json(200, self.analysis.session.status())
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/rpc":
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = 0
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_json(
+                400, {"error": "body required (Content-Length)"}
+            )
+            return
+        body = self.rfile.read(length).decode("utf-8", errors="replace")
+        reply = self.analysis.handle_line(body)
+        self._send_json(200, reply)
+        if self.analysis.shutting_down.is_set():
+            # Stop accepting after the shutdown response is on the wire.
+            self.server._BaseServer__shutdown_request = True  # type: ignore[attr-defined]
+
+
+def make_http_server(
+    analysis: AnalysisServer, host: str = "127.0.0.1", port: int = 0
+) -> HTTPServer:
+    """A bound (not yet serving) HTTP server sharing ``analysis``."""
+    httpd = HTTPServer((host, port), _Handler)
+    httpd.analysis = analysis  # type: ignore[attr-defined]
+    return httpd
+
+
+def serve_http(
+    analysis: Optional[AnalysisServer] = None,
+    host: str = "127.0.0.1",
+    port: int = 8171,
+) -> int:
+    """Serve HTTP until a ``shutdown`` request or KeyboardInterrupt."""
+    analysis = analysis if analysis is not None else AnalysisServer()
+    httpd = make_http_server(analysis, host=host, port=port)
+    try:
+        httpd.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.server_close()
+        analysis.session.flush()
+    return 0
+
+
+def parse_hostport(spec: str, default_port: int = 8171) -> Tuple[str, int]:
+    """``"host:port"`` / ``"host"`` / ``":port"`` → ``(host, port)``."""
+    if ":" in spec:
+        host, _, port_s = spec.rpartition(":")
+        host = host or "127.0.0.1"
+        try:
+            return host, int(port_s)
+        except ValueError:
+            raise ValueError(f"invalid --http address {spec!r}") from None
+    return spec or "127.0.0.1", default_port

@@ -1,0 +1,704 @@
+"""Session state: documents, cached pipeline artifacts, invalidation.
+
+A :class:`Session` is the daemon's memory.  It owns
+
+* **documents** keyed by URI with version numbers, each caching the
+  algorithm-independent front half of the pipeline
+  (:class:`repro.api.PreparedProgram`) plus the shared
+  :class:`~repro.analysis.index.AnalysisIndex` and
+  :class:`~repro.waves.engine.WaveIndex` kernels, built lazily and
+  reused across requests;
+* a **resident result front** — one :class:`repro.farm.cache.LruFront`
+  keyed by the farm's content-addressed :func:`cache_key`, holding
+  ``(AnalysisResult, report payload)`` pairs so a repeat ``analyze`` of
+  an unchanged document is answered without re-running anything;
+* an optional **disk store** (the farm :class:`ResultCache`) consulted
+  below the front, so a restarted daemon is warm for any program it —
+  or a batch run — has ever analyzed.
+
+Incremental invalidation lives in :meth:`Document.apply_change`: a
+``didChange`` carries the new text and optionally the edited source
+ranges.  The edit keeps the cached parse/CLG/indexes (*partial*
+invalidation) exactly when the new text still canonicalises to the same
+program — whitespace/comment-only edits and formatting churn — with the
+end-to-end spans the lint layer threads through the AST used to label
+the cheap case (every edited range outside every task/procedure
+declaration span).  Anything that changes the canonical program is a
+*full* invalidation of that one document; other documents are never
+touched.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..api import (
+    ALGORITHMS,
+    INDEX_AWARE,
+    AnalysisResult,
+    PreparedProgram,
+    analyze_prepared,
+    prepare,
+)
+from ..errors import ReproError
+from ..farm.cache import LruFront, ResultCache, cache_key
+from ..farm.pool import (
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    WorkItem,
+    run_pool,
+)
+from ..lang.ast_nodes import Program
+from ..lang.parser import parse_program
+from ..lang.pretty import pretty
+from ..reporting import analysis_result_to_dict, repair_report_to_dict
+from .protocol import PROTOCOL_VERSION, RequestTimeout
+
+__all__ = ["Document", "Session", "INVALIDATION_KINDS"]
+
+INVALIDATION_KINDS = ("none", "partial", "full")
+
+
+def _spans_overlap(a, b) -> bool:
+    """Whether two 1-based, end-exclusive source regions intersect."""
+    a_start, a_end = (a.line, a.column), (a.end_line, a.end_column)
+    b_start, b_end = (b.line, b.column), (b.end_line, b.end_column)
+    return a_start < b_end and b_start < a_end
+
+
+class _Range:
+    """One edited region from ``didChange`` params (duck-typed Span)."""
+
+    __slots__ = ("line", "column", "end_line", "end_column")
+
+    def __init__(self, raw: Dict[str, Any]) -> None:
+        try:
+            self.line = int(raw["start_line"])
+            self.column = int(raw.get("start_column", 1))
+            self.end_line = int(raw.get("end_line", self.line))
+            self.end_column = int(raw.get("end_column", self.column + 1))
+        except (KeyError, TypeError, ValueError):
+            raise ValueError(
+                "didChange range needs integer start_line (and optional "
+                "start_column/end_line/end_column)"
+            ) from None
+
+
+class Document:
+    """One open source buffer and everything derived from it.
+
+    Derived state is strictly layered: ``program`` (the parse of the
+    exact source, spans intact) feeds ``prepared`` (inline + validate +
+    unroll + sync graph), which feeds the shared ``index`` (CLG bitset
+    kernels) and ``engine`` (packed-wave kernels).  A partial
+    invalidation replaces only the bottom layer — source text and its
+    parse, whose spans an edit shifts — and keeps everything above,
+    because the canonical program those layers were built from did not
+    change.
+    """
+
+    def __init__(self, uri: str, text: str, version: int = 1) -> None:
+        self.uri = uri
+        self.version = version
+        self.source = text
+        self.opened_at = time.time()
+        self.rebuilds = 0  # full pipeline invalidations survived
+        self._reset()
+
+    # -- cached layers ---------------------------------------------------
+
+    def _reset(self) -> None:
+        self._program: Optional[Program] = None
+        self._canonical: Optional[str] = None
+        self._prepared: Optional[PreparedProgram] = None
+        self._index = None
+        self._engine = None
+        self._lint_cache: Dict[Tuple, Any] = {}
+
+    def program(self) -> Program:
+        """The parsed AST of the current source (cached; spans intact)."""
+        if self._program is None:
+            self._program = parse_program(self.source)
+        return self._program
+
+    def canonical(self) -> str:
+        """The whitespace/comment-neutral form of the current source."""
+        if self._canonical is None:
+            self._canonical = pretty(self.program())
+        return self._canonical
+
+    def prepared(self) -> PreparedProgram:
+        """The algorithm-independent pipeline front half (cached)."""
+        if self._prepared is None:
+            self._prepared = prepare(self.program())
+        return self._prepared
+
+    def index(self):
+        """The shared :class:`AnalysisIndex` over the prepared graph."""
+        if self._index is None:
+            from ..analysis.index import AnalysisIndex
+
+            self._index = AnalysisIndex(self.prepared().sync_graph)
+        return self._index
+
+    def engine(self):
+        """The shared :class:`WaveIndex` over the exact-search graph."""
+        if self._engine is None:
+            from ..waves.engine import WaveIndex
+
+            self._engine = WaveIndex(self.prepared().exact_graph)
+        return self._engine
+
+    def artifacts(self) -> Dict[str, bool]:
+        """Which cached layers currently exist (status introspection)."""
+        return {
+            "program": self._program is not None,
+            "prepared": self._prepared is not None,
+            "index": self._index is not None,
+            "engine": self._engine is not None,
+        }
+
+    # -- invalidation ----------------------------------------------------
+
+    def apply_change(
+        self,
+        text: str,
+        version: Optional[int] = None,
+        ranges: Optional[Sequence[Dict[str, Any]]] = None,
+    ) -> Tuple[str, str]:
+        """Replace the source; decide how much cached state survives.
+
+        Returns ``(kind, reason)`` with ``kind`` one of
+        :data:`INVALIDATION_KINDS`:
+
+        * ``"none"`` — byte-identical text; nothing dropped.
+        * ``"partial"`` — the text changed but canonicalises to the
+          same program (whitespace/comments/formatting, or an edit
+          entirely outside every task/procedure declaration span).
+          The parse is refreshed so spans track the new text, and the
+          per-source lint cache drops (suppression comments and
+          diagnostic spans are layout-sensitive), but the prepared
+          pipeline, ``AnalysisIndex`` and ``WaveIndex`` all survive —
+          as do the content-addressed analysis results, whose key is
+          the canonical form.
+        * ``"full"`` — the canonical program changed (or stopped
+          parsing): every derived layer of *this document* is dropped.
+        """
+        self.version = version if version is not None else self.version + 1
+        if text == self.source:
+            return "none", "identical-text"
+
+        outside = self._edit_outside_decls(ranges)
+        old_canonical: Optional[str]
+        try:
+            old_canonical = self.canonical()
+        except ReproError:
+            old_canonical = None
+
+        self.source = text
+        try:
+            new_program = parse_program(text)
+        except ReproError:
+            self._reset()
+            self.rebuilds += 1
+            return "full", "parse-error"
+
+        if old_canonical is not None and pretty(new_program) == old_canonical:
+            # Same canonical program: keep prepared/index/engine, swap
+            # in the fresh parse so spans match the new layout.
+            self._program = new_program
+            self._canonical = old_canonical
+            self._lint_cache = {}
+            reason = (
+                "edit-outside-declarations"
+                if outside
+                else "whitespace-or-comments"
+            )
+            return "partial", reason
+
+        self._reset()
+        self._program = new_program
+        self.rebuilds += 1
+        return "full", "semantic-edit"
+
+    def _edit_outside_decls(
+        self, ranges: Optional[Sequence[Dict[str, Any]]]
+    ) -> bool:
+        """True when every edited range misses every declaration span.
+
+        Uses the end-to-end spans the lint layer threads through the
+        AST (``TaskDecl.decl_loc`` covers the whole ``task … end;``
+        region).  Conservative in both directions: no ranges → False
+        (nothing claimed), span-less declarations → False.
+        """
+        if not ranges:
+            return False
+        try:
+            program = self.program()
+        except ReproError:
+            return False
+        decl_spans = []
+        for task in program.tasks:
+            span = task.decl_loc or task.loc
+            if span is None:
+                return False
+            decl_spans.append(span)
+        for proc in program.procedures:
+            if proc.loc is None:
+                return False
+            decl_spans.append(proc.loc)
+        try:
+            edits = [_Range(raw) for raw in ranges]
+        except ValueError:
+            return False
+        return all(
+            not _spans_overlap(edit, span)
+            for edit in edits
+            for span in decl_spans
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "uri": self.uri,
+            "version": self.version,
+            "bytes": len(self.source),
+            "rebuilds": self.rebuilds,
+            "artifacts": self.artifacts(),
+        }
+
+
+class Session:
+    """All resident daemon state plus the request-serving logic."""
+
+    def __init__(
+        self,
+        store: Optional[ResultCache] = None,
+        lru_entries: int = 256,
+    ) -> None:
+        self.documents: Dict[str, Document] = {}
+        self.store = store
+        self.lru = LruFront(max_entries=lru_entries)
+        self.started_at = time.time()
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "cache_hits": 0,
+            "store_hits": 0,
+            "computed": 0,
+            "lint_cache_hits": 0,
+            "lint_runs": 0,
+            "repairs": 0,
+            "invalidations_none": 0,
+            "invalidations_partial": 0,
+            "invalidations_full": 0,
+        }
+
+    # -- counters --------------------------------------------------------
+
+    def _count(self, name: str, obs_name: str) -> None:
+        self.counters[name] = self.counters.get(name, 0) + 1
+        if obs.is_enabled():
+            obs.counter(obs_name).inc()
+
+    def _update_gauges(self) -> None:
+        if obs.is_enabled():
+            obs.gauge("server.documents").set(len(self.documents))
+            obs.gauge("server.lru.entries").set(len(self.lru))
+
+    # -- document lifecycle ----------------------------------------------
+
+    def open_document(
+        self, uri: str, text: str, version: int = 1
+    ) -> Document:
+        doc = Document(uri, text, version=version)
+        self.documents[uri] = doc
+        self._update_gauges()
+        return doc
+
+    def change_document(
+        self,
+        uri: str,
+        text: str,
+        version: Optional[int] = None,
+        ranges: Optional[Sequence[Dict[str, Any]]] = None,
+    ) -> Dict[str, Any]:
+        doc = self.documents.get(uri)
+        if doc is None:
+            doc = self.open_document(uri, text, version=version or 1)
+            kind, reason = "full", "opened"
+            self._count("invalidations_full", "server.invalidations.full")
+        else:
+            kind, reason = doc.apply_change(text, version, ranges)
+            self._count(
+                f"invalidations_{kind}", f"server.invalidations.{kind}"
+            )
+        return {
+            "uri": uri,
+            "version": doc.version,
+            "invalidation": kind,
+            "reason": reason,
+        }
+
+    def close_document(self, uri: str) -> bool:
+        existed = self.documents.pop(uri, None) is not None
+        self._update_gauges()
+        return existed
+
+    def _resolve(
+        self, uri: Optional[str], text: Optional[str]
+    ) -> Document:
+        """The document a request targets, opening/updating as needed."""
+        if text is not None:
+            uri = uri or "untitled:adhoc"
+            doc = self.documents.get(uri)
+            if doc is None:
+                return self.open_document(uri, text)
+            if text != doc.source:
+                kind, _ = doc.apply_change(text)
+                self._count(
+                    f"invalidations_{kind}", f"server.invalidations.{kind}"
+                )
+            return doc
+        if uri is None:
+            raise ValueError("request needs a 'uri' or a 'text' param")
+        doc = self.documents.get(uri)
+        if doc is not None:
+            return doc
+        path = Path(uri)
+        if path.is_file():
+            return self.open_document(uri, path.read_text())
+        raise ValueError(
+            f"unknown document {uri!r} (didOpen it, pass 'text', or "
+            "use a readable file path)"
+        )
+
+    # -- analyze ---------------------------------------------------------
+
+    def analyze_document(
+        self,
+        uri: Optional[str] = None,
+        text: Optional[str] = None,
+        algorithm: str = "refined",
+        exact: bool = False,
+        state_limit: int = 200_000,
+        backend: str = "index",
+        timeout: Optional[float] = None,
+    ) -> Tuple[Dict[str, Any], str]:
+        """One ``analyze`` request: ``(report payload, cache source)``.
+
+        The payload is exactly
+        :func:`repro.reporting.analysis_result_to_dict` — what the
+        one-shot CLI prints with ``--json``.  Cache source is
+        ``"memory"`` (resident LRU — no re-parse, no re-index),
+        ``"store"`` (content-addressed disk entry from an earlier
+        daemon run or batch), or ``"computed"``.
+        """
+        result, payload, cache = self._analysis(
+            self._resolve(uri, text),
+            algorithm=algorithm,
+            exact=exact,
+            state_limit=state_limit,
+            backend=backend,
+            timeout=timeout,
+        )
+        return payload, cache
+
+    def _analysis(
+        self,
+        doc: Document,
+        algorithm: str,
+        exact: bool,
+        state_limit: int,
+        backend: str,
+        timeout: Optional[float] = None,
+    ) -> Tuple[AnalysisResult, Dict[str, Any], str]:
+        if algorithm != "exact" and algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; choose one of "
+                f"{sorted(ALGORITHMS)} or 'exact'"
+            )
+        key = cache_key(
+            doc.program(),
+            algorithm=algorithm,
+            state_limit=state_limit,
+            exact=exact,
+        )
+        cached = self.lru.get(key)
+        if cached is not None:
+            self._count("cache_hits", "server.cache_hits")
+            return cached[0], cached[1], "memory"
+        if self.store is not None:
+            result = self.store.get(key)
+            if result is not None:
+                payload = analysis_result_to_dict(result)
+                self.lru.put(key, (result, payload))
+                self._count("store_hits", "server.store_hits")
+                return result, payload, "store"
+
+        is_exact = exact or algorithm == "exact"
+        if timeout is not None and is_exact:
+            result = self._analyze_pooled(
+                doc, algorithm, exact, state_limit, backend, timeout
+            )
+        else:
+            prep = doc.prepared()
+            index = (
+                doc.index()
+                if backend == "index"
+                and not is_exact
+                and algorithm in INDEX_AWARE
+                else None
+            )
+            engine = (
+                doc.engine()
+                if backend == "index" and is_exact
+                else None
+            )
+            result = analyze_prepared(
+                prep,
+                algorithm=algorithm,
+                exact=exact,
+                state_limit=state_limit,
+                backend=backend,
+                index=index,
+                engine=engine,
+                uri=doc.uri,
+            )
+        payload = analysis_result_to_dict(result)
+        self.lru.put(key, (result, payload))
+        if self.store is not None:
+            self.store.put(key, result)
+        self._count("computed", "server.computed")
+        self._update_gauges()
+        return result, payload, "computed"
+
+    def _analyze_pooled(
+        self,
+        doc: Document,
+        algorithm: str,
+        exact: bool,
+        state_limit: int,
+        backend: str,
+        timeout: float,
+    ) -> AnalysisResult:
+        """Run one exact-exploration request under a preemptive budget.
+
+        Reuses the farm pool: a worker process runs the analysis, and
+        an overrun is terminated from outside — the only way to bound
+        an exponential search that ignores cooperative deadlines.
+        """
+        item = WorkItem(
+            label=doc.uri,
+            source=doc.source,
+            algorithm=algorithm,
+            exact=exact,
+            state_limit=state_limit,
+            backend=backend,
+        )
+        outcome = run_pool([item], jobs=2, timeout=timeout)[0]
+        if outcome.status == STATUS_TIMEOUT:
+            raise RequestTimeout(
+                f"request exceeded its {timeout}s budget ({doc.uri})"
+            )
+        if outcome.status != STATUS_OK:
+            raise ReproError(
+                outcome.error or f"analysis {outcome.status} ({doc.uri})"
+            )
+        return outcome.result
+
+    # -- lint ------------------------------------------------------------
+
+    def lint_document(
+        self,
+        uri: Optional[str] = None,
+        text: Optional[str] = None,
+        disable: Sequence[str] = (),
+        select: Optional[Sequence[str]] = None,
+        sarif: bool = False,
+    ) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]], str]:
+        """One ``lint`` request: ``(payload, sarif doc or None, cache)``.
+
+        The payload is :func:`repro.lint.output.lint_to_dict` — the CLI
+        ``--lint --json`` stdout — with the document URI as the
+        diagnostic path / SARIF ``artifactLocation`` (synthetic URIs
+        for unsaved buffers pass through untouched).
+        """
+        from ..lint import lint_to_dict, run_lint, sarif_report
+
+        doc = self._resolve(uri, text)
+        key = (
+            tuple(disable),
+            tuple(select) if select is not None else None,
+        )
+        result = doc._lint_cache.get(key)
+        if result is not None:
+            cache = "memory"
+            self._count("lint_cache_hits", "server.lint_cache_hits")
+        else:
+            cache = "computed"
+            result = run_lint(
+                doc.program(),
+                source=doc.source,
+                path=doc.uri,
+                disable=disable,
+                select=select,
+            )
+            doc._lint_cache[key] = result
+            self._count("lint_runs", "server.lint_runs")
+        sarif_doc = sarif_report([result]) if sarif else None
+        return lint_to_dict(result), sarif_doc, cache
+
+    # -- repair ----------------------------------------------------------
+
+    def repair_document(
+        self,
+        uri: Optional[str] = None,
+        text: Optional[str] = None,
+        algorithm: str = "refined",
+        backend: str = "index",
+        state_limit: int = 200_000,
+        max_fixes: int = 5,
+    ) -> Tuple[Dict[str, Any], str]:
+        """One ``repair`` request: the CLI ``--suggest-fixes --json``
+        payload (analysis report + ``"repair"`` key), cache-aware.
+
+        The underlying analysis comes from the resident front when the
+        document is unchanged; only the repair synthesis itself re-runs
+        on a cold repair key.
+        """
+        from ..repair import suggest_repairs
+
+        doc = self._resolve(uri, text)
+        repair_algorithm = "refined" if algorithm == "exact" else algorithm
+        result, payload, cache = self._analysis(
+            doc,
+            algorithm=algorithm,
+            exact=False,
+            state_limit=state_limit,
+            backend=backend,
+        )
+        repair_key = "repair:" + cache_key(
+            doc.program(),
+            algorithm=repair_algorithm,
+            state_limit=state_limit,
+        ) + f":{max_fixes}"
+        cached = self.lru.get(repair_key)
+        if cached is not None:
+            self._count("cache_hits", "server.cache_hits")
+            return cached[1], "memory"
+        report = suggest_repairs(
+            result=result,
+            algorithm=repair_algorithm,
+            backend=backend,
+            state_limit=state_limit,
+            max_fixes=max_fixes,
+        )
+        # Re-render through the same reporting entry point the CLI uses
+        # so the repair-bearing payload is byte-identical to
+        # ``--suggest-fixes --json``.
+        full = analysis_result_to_dict(result, repair=report)
+        self.lru.put(repair_key, (report, full))
+        self._count("repairs", "server.repairs")
+        return full, cache
+
+    # -- batch -----------------------------------------------------------
+
+    def run_batch(
+        self,
+        items: Optional[Sequence[Dict[str, Any]]] = None,
+        paths: Optional[Sequence[str]] = None,
+        algorithm: str = "refined",
+        state_limit: int = 200_000,
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        backend: str = "index",
+        lint: bool = False,
+    ) -> Dict[str, Any]:
+        """One ``batch`` request through the farm runner.
+
+        ``items`` are in-memory ``{"label", "text"}`` pairs; ``paths``
+        are files/dirs/globs collected exactly like the CLI ``--batch``
+        positionals.  The farm reuses the session's disk store, so
+        batch results warm the daemon and vice versa.
+        """
+        from ..farm.runner import collect_sources, run_batch
+
+        pairs: List[Tuple[str, str]] = []
+        if items:
+            for i, item in enumerate(items):
+                if "text" not in item:
+                    raise ValueError(f"batch item {i} needs 'text'")
+                pairs.append(
+                    (str(item.get("label", f"item-{i}")), item["text"])
+                )
+        if paths:
+            pairs.extend(collect_sources(paths))
+        if not pairs:
+            raise ValueError("batch needs 'items' or 'paths'")
+        report = run_batch(
+            pairs,
+            algorithm=algorithm,
+            state_limit=state_limit,
+            jobs=jobs,
+            timeout=timeout,
+            cache=self.store if self.store is not None else False,
+            backend=backend,
+            lint=lint,
+        )
+        return report.to_dict()
+
+    # -- status / flush --------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        self._update_gauges()
+        payload: Dict[str, Any] = {
+            "protocol_version": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "documents": [
+                doc.to_dict() for doc in self.documents.values()
+            ],
+            "counters": dict(self.counters),
+            "lru": self.lru.snapshot(),
+            "store": (
+                {
+                    "dir": str(self.store.cache_dir),
+                    "stats": self.store.stats.to_dict(),
+                    "front": self.store.front.snapshot(),
+                }
+                if self.store is not None
+                else None
+            ),
+            "algorithms": sorted(ALGORITHMS) + ["exact"],
+        }
+        metrics = obs.snapshot()
+        if metrics is not None:
+            payload["metrics"] = {
+                "counters": metrics["counters"],
+                "gauges": metrics["gauges"],
+            }
+        return payload
+
+    def flush(self) -> int:
+        """Persist resident results the disk store does not yet have.
+
+        Stores are write-through, so this usually writes nothing; it
+        exists for the shutdown path, where it guarantees the next
+        daemon start is as warm as this one ended.
+        """
+        if self.store is None:
+            return 0
+        written = 0
+        for key, value in self.lru.items():
+            result = value[0]
+            # Repair payload entries ride the LRU under "repair:" keys
+            # but are not AnalysisResults; the store only takes those.
+            if key.startswith("repair:"):
+                continue
+            if not self.store.on_disk(key):
+                self.store.put(key, result)
+                written += 1
+        return written

@@ -81,3 +81,67 @@ class TestConvenience:
     def test_package_level_exports(self):
         assert repro.analyze is analyze
         assert repro.__version__
+
+
+class TestPreparedPipeline:
+    """The split front half powering repro.server's resident state."""
+
+    def test_prepare_plus_finish_matches_analyze(self, corpus):
+        from repro.api import BACKEND_AWARE, analyze_prepared, prepare
+        from repro.reporting import analysis_result_to_dict
+
+        for name, entry in corpus.items():
+            source = entry.program
+            prep = prepare(source)
+            for algorithm in sorted(BACKEND_AWARE):
+                direct = analysis_result_to_dict(
+                    analyze(source, algorithm=algorithm)
+                )
+                via_prep = analysis_result_to_dict(
+                    analyze_prepared(prep, algorithm=algorithm)
+                )
+                assert via_prep == direct, (name, algorithm)
+
+    def test_prebuilt_index_and_engine_are_used(self):
+        from repro.analysis.index import AnalysisIndex
+        from repro.api import analyze_prepared, prepare
+        from repro.waves.engine import WaveIndex
+        from tests.conftest import CROSSED_SRC
+
+        prep = prepare(CROSSED_SRC)
+        index = AnalysisIndex(prep.sync_graph)
+        engine = WaveIndex(prep.exact_graph)
+        static = analyze_prepared(prep, index=index)
+        exact = analyze_prepared(prep, exact=True, engine=engine)
+        assert static.deadlock.verdict == "possible-deadlock"
+        assert exact.deadlock.verdict == "possible-deadlock"
+
+    def test_index_aware_excludes_k_pairs(self):
+        from repro.api import BACKEND_AWARE, INDEX_AWARE
+
+        assert INDEX_AWARE == BACKEND_AWARE - {"k-pairs-3"}
+
+    def test_uri_is_provenance_only(self):
+        from repro.reporting import analysis_result_to_dict
+        from tests.conftest import CROSSED_SRC
+
+        tagged = analyze(CROSSED_SRC, uri="untitled:buffer-3")
+        plain = analyze(CROSSED_SRC)
+        assert tagged.uri == "untitled:buffer-3"
+        assert plain.uri is None
+        # Provenance never leaks into the serialized report.
+        assert analysis_result_to_dict(tagged) == analysis_result_to_dict(
+            plain
+        )
+
+    def test_exact_graph_lazy_on_approximated_unroll(self):
+        from repro.api import prepare
+
+        looped = """
+        program looper;
+        task t1 is begin while true loop send t2.m; end loop; end;
+        task t2 is begin while true loop accept m; end loop; end;
+        """
+        prep = prepare(looped)
+        assert prep.approximated
+        assert prep.exact_graph is not prep.sync_graph

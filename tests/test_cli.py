@@ -550,3 +550,73 @@ class TestBatchMode:
             json.loads(l) for l in jsonl.read_text().splitlines()
         ][-1]
         assert summary["cache"]["hits"] == 2
+
+
+class TestJsonStdoutPurity:
+    """Under ``--json``, stdout is exactly one parseable JSON document.
+
+    The contract jq-style consumers rely on: whatever mix of flags
+    rides along (trace, stats, fixes, batch), human chatter must land
+    on stderr, never interleaved with the payload.  Every invocation
+    here parses the *complete* stdout — any stray line breaks the
+    test.
+    """
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            [],
+            ["--trace"],
+            ["--stats"],
+            ["--algorithm", "combined-pairs"],
+            ["--simulate", "5"],
+            ["--confirm"],
+            ["--suggest-fixes"],
+            ["--lint"],
+            ["--lint", "--suggest-fixes"],
+            ["--lint", "--trace"],
+        ],
+    )
+    def test_single_json_document(self, crossed_file, capsys, extra):
+        main([str(crossed_file), "--json", *extra])
+        out = capsys.readouterr().out
+        payload = json.loads(out)  # raises on any non-JSON chatter
+        assert out.endswith("\n") and not out.rstrip("\n").endswith("\n")
+        assert "schema_version" in payload or "lint_schema_version" in payload
+
+    def test_batch_json_is_pure(self, tmp_path, capsys):
+        (tmp_path / "a.adl").write_text(CROSSED_SRC)
+        (tmp_path / "b.adl").write_text(HANDSHAKE_SRC)
+        main(
+            ["--batch", str(tmp_path), "--json", "--no-cache", "--trace"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["items"] == 2
+
+    def test_trace_chatter_lands_on_stderr(self, crossed_file, capsys):
+        main([str(crossed_file), "--json", "--trace"])
+        captured = capsys.readouterr()
+        json.loads(captured.out)
+        assert "analyze" in captured.err  # the span tree moved aside
+
+    def test_subprocess_stdout_parses_line_safe(self, crossed_file):
+        """Belt and braces: outside capsys, with a real pipe, every
+        stdout line belongs to the one JSON document."""
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                str(crossed_file),
+                "--json",
+                "--suggest-fixes",
+                "--trace",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        payload = json.loads(proc.stdout)
+        assert payload["repair"]["fixed"] is True
+        first = proc.stdout.splitlines()[0]
+        assert first == "{"  # indent=2 document, nothing before it

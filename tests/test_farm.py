@@ -504,3 +504,97 @@ class TestAnalyzeMany:
         report = analyze_many([e.source for e in entries], jobs=2)
         for entry, result in zip(entries, report.results):
             assert result.deadlock.verdict == analyze(entry.source).deadlock.verdict
+
+
+class TestLruFront:
+    def test_eviction_order_is_lru(self):
+        from repro.farm.cache import LruFront
+
+        front = LruFront(max_entries=2)
+        front.put("a", 1)
+        front.put("b", 2)
+        assert front.get("a") == 1  # refresh a; b is now oldest
+        front.put("c", 3)
+        assert "b" not in front
+        assert front.get("a") == 1
+        assert front.get("c") == 3
+        assert front.evictions == 1
+
+    def test_hit_miss_counters(self):
+        from repro.farm.cache import LruFront
+
+        front = LruFront()
+        assert front.get("ghost") is None
+        assert front.get("ghost", default="d") == "d"
+        front.put("k", "v")
+        assert front.get("k") == "v"
+        assert (front.hits, front.misses) == (1, 2)
+
+    def test_contains_is_a_pure_probe(self):
+        from repro.farm.cache import LruFront
+
+        front = LruFront(max_entries=2)
+        front.put("a", 1)
+        front.put("b", 2)
+        # Probing "a" must not refresh its recency or count a hit.
+        assert "a" in front
+        front.put("c", 3)
+        assert "a" not in front  # still evicted first
+        assert (front.hits, front.misses) == (0, 0)
+
+    def test_snapshot_and_len(self):
+        from repro.farm.cache import LruFront
+
+        front = LruFront(max_entries=3)
+        front.put("a", 1)
+        front.get("a")
+        front.get("nope")
+        assert len(front) == 1
+        assert front.snapshot() == {
+            "entries": 1,
+            "max_entries": 3,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+        }
+        front.clear()
+        assert len(front) == 0
+
+    def test_items_lru_first(self):
+        from repro.farm.cache import LruFront
+
+        front = LruFront()
+        front.put("a", 1)
+        front.put("b", 2)
+        front.get("a")
+        assert [k for k, _ in front.items()] == ["b", "a"]
+
+    def test_capacity_validation(self):
+        from repro.farm.cache import LruFront
+
+        with pytest.raises(ValueError):
+            LruFront(max_entries=0)
+
+    def test_result_cache_front_is_lru_front(self, tmp_path):
+        from repro.farm.cache import LruFront, ResultCache
+
+        cache = ResultCache(cache_dir=tmp_path, memory_entries=7)
+        assert isinstance(cache.front, LruFront)
+        assert cache.front.max_entries == 7
+        snap = cache.front.snapshot()
+        assert set(snap) == {
+            "entries", "max_entries", "hits", "misses", "evictions",
+        }
+
+    def test_on_disk_vs_contains(self, tmp_path):
+        from repro.farm.cache import ResultCache
+        from tests.conftest import CROSSED_SRC
+
+        cache = ResultCache(cache_dir=tmp_path)
+        cache.put("k" * 64, analyze(CROSSED_SRC))
+        assert cache.contains("k" * 64)
+        assert cache.on_disk("k" * 64)
+        for entry in tmp_path.glob("??/*.pkl"):
+            entry.unlink()
+        assert not cache.on_disk("k" * 64)
+        assert cache.contains("k" * 64)  # the front still has it

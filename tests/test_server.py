@@ -1,0 +1,711 @@
+"""Tests for the analysis daemon (``repro.server``).
+
+Four layers:
+
+* protocol framing and error codes (pure functions);
+* :class:`Document` / :class:`Session` semantics — incremental
+  invalidation, the resident LRU, the disk store, URI threading;
+* CLI parity — the daemon's report payloads re-rendered with
+  :func:`repro.reporting.render_json` must match the one-shot CLI's
+  stdout byte for byte;
+* golden JSONL transcripts driven through a full
+  :class:`AnalysisServer`, plus a subprocess smoke test over real
+  stdio.
+
+Regenerate the golden transcripts after an intentional payload change
+with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_server.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.farm.cache import ResultCache
+from repro.reporting import render_json
+from repro.server import AnalysisServer, Session
+from repro.server.daemon import DEFAULT_QUEUE_SIZE
+from repro.server.httpd import parse_hostport
+from repro.server.protocol import (
+    ANALYSIS_ERROR,
+    INVALID_PARAMS,
+    INVALID_REQUEST,
+    METHOD_NOT_FOUND,
+    PARSE_ERROR,
+    REQUEST_TIMEOUT,
+    ProtocolError,
+    decode_request,
+    dumps,
+    error_response,
+    response,
+)
+from repro.server.session import Document
+
+GOLDEN_DIR = Path(__file__).parent / "golden_server"
+REGEN = bool(os.environ.get("REPRO_REGEN_GOLDEN"))
+
+CROSSED_SRC = """\
+program crossed;
+task t1 is begin send t2.a; accept x; end;
+task t2 is begin send t1.x; accept a; end;
+"""
+
+HANDSHAKE_SRC = """\
+program handshake;
+task t1 is begin send t2.sig1; accept sig2; end;
+task t2 is begin accept sig1; send t1.sig2; end;
+"""
+
+# Same canonical program as CROSSED_SRC: comments and layout only.
+CROSSED_COMMENTED = """\
+-- a leading comment
+program crossed;
+
+task t1 is begin send t2.a; accept x; end;
+task t2 is begin send t1.x; accept a; end;  -- trailing note
+"""
+
+# Keys whose values depend on the machine or the clock, never on the
+# analysis: replaced before golden comparison.
+VOLATILE_KEYS = {"wall_time_s", "uptime_s", "pid", "duration_s"}
+
+
+def normalize(obj):
+    if isinstance(obj, dict):
+        return {
+            k: ("<volatile>" if k in VOLATILE_KEYS else normalize(v))
+            for k, v in obj.items()
+        }
+    if isinstance(obj, list):
+        return [normalize(v) for v in obj]
+    return obj
+
+
+def make_server(store=None, **kwargs) -> AnalysisServer:
+    return AnalysisServer(session=Session(store=store), **kwargs)
+
+
+def rpc(server, method, params=None, id=1):
+    line = json.dumps(
+        {"id": id, "method": method, "params": params or {}}
+    )
+    return server.handle_line(line)
+
+
+# ---------------------------------------------------------------------------
+# protocol
+
+
+class TestProtocol:
+    def test_decode_roundtrip(self):
+        req = decode_request(
+            '{"id": 7, "method": "analyze", "params": {"uri": "a"}}'
+        )
+        assert req.id == 7
+        assert req.method == "analyze"
+        assert req.params == {"uri": "a"}
+
+    def test_decode_defaults(self):
+        req = decode_request('{"method": "ping"}')
+        assert req.id is None
+        assert req.params == {}
+
+    @pytest.mark.parametrize(
+        "line, code",
+        [
+            ("{not json", PARSE_ERROR),
+            ('"just a string"', INVALID_REQUEST),
+            ("[1, 2]", INVALID_REQUEST),
+            ('{"params": {}}', INVALID_REQUEST),
+            ('{"method": 42}', INVALID_REQUEST),
+            ('{"method": "x", "params": []}', INVALID_PARAMS),
+        ],
+    )
+    def test_decode_errors(self, line, code):
+        with pytest.raises(ProtocolError) as exc:
+            decode_request(line)
+        assert exc.value.code == code
+
+    def test_framing_is_one_line(self):
+        framed = dumps(response(1, {"nested": {"deep": [1, 2]}}))
+        assert "\n" not in framed
+        assert json.loads(framed) == {
+            "id": 1,
+            "result": {"nested": {"deep": [1, 2]}},
+        }
+
+    def test_error_response_shape(self):
+        err = error_response(3, ANALYSIS_ERROR, "boom", data={"k": 1})
+        assert err == {
+            "id": 3,
+            "error": {"code": 1000, "message": "boom", "data": {"k": 1}},
+        }
+
+
+# ---------------------------------------------------------------------------
+# Document invalidation
+
+
+class TestDocumentInvalidation:
+    def test_identical_text_is_none(self):
+        doc = Document("mem:a", CROSSED_SRC)
+        doc.prepared()
+        kind, reason = doc.apply_change(CROSSED_SRC)
+        assert (kind, reason) == ("none", "identical-text")
+        assert doc.artifacts()["prepared"]
+
+    def test_comment_only_edit_keeps_pipeline(self):
+        doc = Document("mem:a", CROSSED_SRC)
+        prepared = doc.prepared()
+        index = doc.index()
+        engine = doc.engine()
+        kind, reason = doc.apply_change(CROSSED_COMMENTED)
+        assert kind == "partial"
+        assert reason == "whitespace-or-comments"
+        # The expensive layers are the *same objects*, not rebuilds.
+        assert doc.prepared() is prepared
+        assert doc.index() is index
+        assert doc.engine() is engine
+        # The parse tracks the new text (spans shifted by the comment).
+        assert doc.program().tasks[0].loc.line > 1
+
+    def test_task_body_edit_rebuilds(self):
+        doc = Document("mem:a", CROSSED_SRC)
+        prepared = doc.prepared()
+        fixed = CROSSED_SRC.replace(
+            "send t2.a; accept x;", "accept x; send t2.a;"
+        )
+        kind, reason = doc.apply_change(fixed)
+        assert (kind, reason) == ("full", "semantic-edit")
+        assert not doc.artifacts()["prepared"]
+        assert doc.prepared() is not prepared
+        assert doc.rebuilds == 1
+
+    def test_parse_error_is_full(self):
+        doc = Document("mem:a", CROSSED_SRC)
+        doc.prepared()
+        kind, reason = doc.apply_change("task broken")
+        assert (kind, reason) == ("full", "parse-error")
+        assert not doc.artifacts()["prepared"]
+
+    def test_out_of_task_edit_reason(self):
+        base = CROSSED_SRC + "-- trailing banner\n"
+        doc = Document("mem:a", base)
+        doc.prepared()
+        edited = CROSSED_SRC + "-- trailing banner, reworded\n"
+        last_line = len(base.splitlines())
+        kind, reason = doc.apply_change(
+            edited,
+            ranges=[{"start_line": last_line, "start_column": 4}],
+        )
+        assert kind == "partial"
+        assert reason == "edit-outside-declarations"
+
+    def test_edit_inside_task_span_not_classified_outside(self):
+        doc = Document("mem:a", CROSSED_SRC)
+        doc.prepared()
+        # Range hits task t1's declaration; canonical still unchanged,
+        # so it is partial — but not labelled out-of-declaration.
+        kind, reason = doc.apply_change(
+            CROSSED_COMMENTED,
+            ranges=[{"start_line": 2, "start_column": 1}],
+        )
+        assert kind == "partial"
+        assert reason == "whitespace-or-comments"
+
+
+# ---------------------------------------------------------------------------
+# Session
+
+
+class TestSession:
+    def test_analyze_cache_progression(self):
+        session = Session(store=None)
+        payload1, cache1 = session.analyze_document(
+            uri="mem:a", text=CROSSED_SRC
+        )
+        payload2, cache2 = session.analyze_document(uri="mem:a")
+        assert (cache1, cache2) == ("computed", "memory")
+        assert payload1 == payload2
+        assert payload1["deadlock"]["verdict"] == "possible-deadlock"
+        assert session.counters["cache_hits"] == 1
+        assert session.counters["computed"] == 1
+
+    def test_comment_edit_preserves_result_cache(self):
+        session = Session(store=None)
+        session.analyze_document(uri="mem:a", text=CROSSED_SRC)
+        info = session.change_document("mem:a", CROSSED_COMMENTED)
+        assert info["invalidation"] == "partial"
+        _, cache = session.analyze_document(uri="mem:a")
+        # Content-addressed key hashes the canonical form, so the
+        # resident result survives a formatting-only edit.
+        assert cache == "memory"
+        assert session.counters["invalidations_partial"] == 1
+
+    def test_semantic_edit_recomputes(self):
+        session = Session(store=None)
+        session.analyze_document(uri="mem:a", text=CROSSED_SRC)
+        info = session.change_document("mem:a", HANDSHAKE_SRC)
+        assert info["invalidation"] == "full"
+        payload, cache = session.analyze_document(uri="mem:a")
+        assert cache == "computed"
+        assert payload["deadlock"]["verdict"] == "certified-deadlock-free"
+
+    def test_store_warms_fresh_session(self, tmp_path):
+        store = ResultCache(cache_dir=tmp_path)
+        first = Session(store=store)
+        first.analyze_document(uri="mem:a", text=CROSSED_SRC)
+
+        reborn = Session(store=ResultCache(cache_dir=tmp_path))
+        payload, cache = reborn.analyze_document(
+            uri="mem:b", text=CROSSED_SRC
+        )
+        assert cache == "store"
+        assert payload["deadlock"]["verdict"] == "possible-deadlock"
+
+    def test_distinct_algorithms_distinct_entries(self):
+        session = Session(store=None)
+        _, c1 = session.analyze_document(
+            uri="mem:a", text=CROSSED_SRC, algorithm="refined"
+        )
+        _, c2 = session.analyze_document(
+            uri="mem:a", algorithm="combined-pairs"
+        )
+        assert (c1, c2) == ("computed", "computed")
+
+    def test_unknown_algorithm_rejected(self):
+        session = Session(store=None)
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            session.analyze_document(
+                uri="mem:a", text=CROSSED_SRC, algorithm="nope"
+            )
+
+    def test_unknown_document_rejected(self):
+        session = Session(store=None)
+        with pytest.raises(ValueError, match="unknown document"):
+            session.analyze_document(uri="mem:never-opened")
+
+    def test_file_uri_reads_from_disk(self, tmp_path):
+        path = tmp_path / "prog.adl"
+        path.write_text(HANDSHAKE_SRC)
+        session = Session(store=None)
+        payload, cache = session.analyze_document(uri=str(path))
+        assert cache == "computed"
+        assert payload["program"] == "handshake"
+
+    def test_lint_cache_and_uri(self):
+        session = Session(store=None)
+        payload, sarif_doc, cache = session.lint_document(
+            uri="untitled:scratch-1", text=CROSSED_SRC, sarif=True
+        )
+        assert cache == "computed"
+        assert payload["path"] == "untitled:scratch-1"
+        loc = sarif_doc["runs"][0]["results"][0]["locations"][0]
+        art = loc["physicalLocation"]["artifactLocation"]["uri"]
+        assert art == "untitled:scratch-1"
+        _, _, cache2 = session.lint_document(uri="untitled:scratch-1")
+        assert cache2 == "memory"
+        assert session.counters["lint_cache_hits"] == 1
+
+    def test_analysis_result_records_uri(self):
+        session = Session(store=None)
+        session.analyze_document(uri="untitled:buf", text=CROSSED_SRC)
+        result, _, _ = session._analysis(
+            session.documents["untitled:buf"],
+            algorithm="refined",
+            exact=False,
+            state_limit=200_000,
+            backend="index",
+        )
+        assert result.uri == "untitled:buf"
+
+    def test_status_shape(self):
+        session = Session(store=None)
+        session.analyze_document(uri="mem:a", text=CROSSED_SRC)
+        status = session.status()
+        assert status["protocol_version"] == 1
+        assert status["counters"]["computed"] == 1
+        assert status["lru"]["entries"] == 1
+        assert status["store"] is None
+        doc = status["documents"][0]
+        assert doc["uri"] == "mem:a"
+        assert doc["artifacts"]["prepared"]
+
+    def test_flush_writes_missing_entries(self, tmp_path):
+        store = ResultCache(cache_dir=tmp_path)
+        session = Session(store=store)
+        session.analyze_document(uri="mem:a", text=CROSSED_SRC)
+        # Store writes are write-through, so flush finds nothing new.
+        assert session.flush() == 0
+        # Wipe the disk copies; flush restores them from the LRU.
+        for entry in tmp_path.glob("??/*.pkl"):
+            entry.unlink()
+        assert session.flush() == 1
+
+    def test_obs_counters_mirror(self):
+        with obs.observed() as obs_session:
+            session = Session(store=None)
+            session.analyze_document(uri="mem:a", text=CROSSED_SRC)
+            session.analyze_document(uri="mem:a")
+            session.change_document("mem:a", CROSSED_COMMENTED)
+        reg = obs_session.registry
+        assert reg.counter_value("server.computed") == 1
+        assert reg.counter_value("server.cache_hits") == 1
+        assert reg.counter_value("server.invalidations.partial") == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI parity
+
+
+def cli_stdout(argv, capsys):
+    from repro.cli import main
+
+    code = main(argv)
+    return capsys.readouterr().out, code
+
+
+class TestCliParity:
+    def test_analyze_payload_matches_cli(self, tmp_path, capsys):
+        path = tmp_path / "crossed.adl"
+        path.write_text(CROSSED_SRC)
+        out, _ = cli_stdout([str(path), "--json"], capsys)
+
+        server = make_server()
+        reply = rpc(
+            server, "analyze", {"uri": "mem:a", "text": CROSSED_SRC}
+        )
+        assert render_json(reply["result"]["report"]) + "\n" == out
+
+    def test_lint_payload_matches_cli(self, tmp_path, capsys):
+        path = tmp_path / "crossed.adl"
+        path.write_text(CROSSED_SRC)
+        out, _ = cli_stdout([str(path), "--lint", "--json"], capsys)
+
+        server = make_server()
+        reply = rpc(
+            server, "lint", {"uri": str(path), "text": CROSSED_SRC}
+        )
+        assert render_json(reply["result"]["report"]) + "\n" == out
+
+    def test_repair_payload_matches_cli(self, tmp_path, capsys):
+        path = tmp_path / "crossed.adl"
+        path.write_text(CROSSED_SRC)
+        out, _ = cli_stdout(
+            [str(path), "--suggest-fixes", "--json"], capsys
+        )
+
+        server = make_server()
+        reply = rpc(
+            server, "repair", {"uri": "mem:a", "text": CROSSED_SRC}
+        )
+        report = reply["result"]["report"]
+        assert report["repair"]["fixed"]
+        cli_payload = json.loads(out)
+        norm_cli, norm_srv = normalize(cli_payload), normalize(report)
+        assert norm_cli == norm_srv
+        # Byte parity modulo the wall-clock field repair runs carry.
+        assert render_json(norm_srv) + "\n" == render_json(norm_cli) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# daemon dispatch
+
+
+class TestDaemonDispatch:
+    def test_unknown_method(self):
+        reply = rpc(make_server(), "mystery")
+        assert reply["error"]["code"] == METHOD_NOT_FOUND
+
+    def test_malformed_line(self):
+        reply = make_server().handle_line("{oops")
+        assert reply["id"] is None
+        assert reply["error"]["code"] == PARSE_ERROR
+
+    def test_analysis_error_code(self):
+        reply = rpc(
+            make_server(),
+            "analyze",
+            {"uri": "mem:a", "text": "task broken"},
+        )
+        assert reply["error"]["code"] == ANALYSIS_ERROR
+        assert "ParseError" in reply["error"]["message"]
+
+    def test_invalid_params_code(self):
+        reply = rpc(make_server(), "didOpen", {"text": "no uri"})
+        assert reply["error"]["code"] == INVALID_PARAMS
+
+    def test_batch_in_memory_items(self):
+        reply = rpc(
+            make_server(),
+            "batch",
+            {
+                "items": [
+                    {"label": "bad", "text": CROSSED_SRC},
+                    {"label": "good", "text": HANDSHAKE_SRC},
+                ]
+            },
+        )
+        report = reply["result"]["report"]
+        assert report["items"] == 2
+        verdicts = {
+            item["label"]: item["deadlock"]["verdict"]
+            for item in report["item_reports"]
+        }
+        assert verdicts["bad"] == "possible-deadlock"
+        assert verdicts["good"] == "certified-deadlock-free"
+
+    def test_shutdown_sets_flag_and_flushes(self):
+        server = make_server()
+        reply = rpc(server, "shutdown")
+        assert reply["result"] == {"ok": True, "flushed": 0}
+        assert server.shutting_down.is_set()
+
+    def test_exact_timeout_maps_to_1001(self, monkeypatch):
+        # The pool's preemptive kill is timing-dependent (a fast item
+        # can finish before its deadline check), so the expiry itself
+        # is simulated; what this pins down is the plumbing — exact
+        # requests with a budget go through the pool, and a TIMEOUT
+        # outcome answers with the protocol's 1001 code.
+        from repro.farm.pool import STATUS_TIMEOUT, WorkOutcome
+        from repro.server import session as session_mod
+
+        seen = {}
+
+        def fake_run_pool(items, jobs, timeout):
+            seen["jobs"], seen["timeout"] = jobs, timeout
+            return [
+                WorkOutcome(
+                    label=items[0].label,
+                    status=STATUS_TIMEOUT,
+                    error="timed out",
+                )
+            ]
+
+        monkeypatch.setattr(session_mod, "run_pool", fake_run_pool)
+        reply = rpc(
+            make_server(),
+            "analyze",
+            {
+                "uri": "mem:a",
+                "text": CROSSED_SRC,
+                "exact": True,
+                "timeout": 0.25,
+            },
+        )
+        assert reply["error"]["code"] == REQUEST_TIMEOUT
+        # Preemption needs a real pool: the serial path cannot kill.
+        assert seen["jobs"] > 1
+        assert seen["timeout"] == 0.25
+
+    def test_exact_with_generous_timeout_completes(self):
+        server = make_server()
+        reply = rpc(
+            server,
+            "analyze",
+            {
+                "uri": "mem:a",
+                "text": CROSSED_SRC,
+                "exact": True,
+                "timeout": 120,
+            },
+        )
+        assert reply["result"]["cache"] == "computed"
+        report = reply["result"]["report"]
+        assert report["deadlock"]["verdict"] == "possible-deadlock"
+
+    def test_queue_size_default(self):
+        assert make_server().queue.maxsize == DEFAULT_QUEUE_SIZE
+
+    def test_parse_hostport(self):
+        assert parse_hostport("localhost:9000") == ("localhost", 9000)
+        assert parse_hostport(":9000") == ("127.0.0.1", 9000)
+        assert parse_hostport("0.0.0.0") == ("0.0.0.0", 8171)
+        with pytest.raises(ValueError):
+            parse_hostport("host:not-a-port")
+
+
+# ---------------------------------------------------------------------------
+# golden transcripts
+
+
+def transcript_requests():
+    crossed = {"uri": "mem:crossed", "text": CROSSED_SRC}
+    return {
+        "analyze_lifecycle.jsonl": [
+            {"id": 1, "method": "ping", "params": {}},
+            {
+                "id": 2,
+                "method": "didOpen",
+                "params": {"uri": "mem:crossed", "text": CROSSED_SRC},
+            },
+            {
+                "id": 3,
+                "method": "analyze",
+                "params": {"uri": "mem:crossed"},
+            },
+            {
+                "id": 4,
+                "method": "analyze",
+                "params": {"uri": "mem:crossed"},
+            },
+            {
+                "id": 5,
+                "method": "didChange",
+                "params": {
+                    "uri": "mem:crossed",
+                    "text": CROSSED_COMMENTED,
+                },
+            },
+            {
+                "id": 6,
+                "method": "analyze",
+                "params": {"uri": "mem:crossed"},
+            },
+            {
+                "id": 7,
+                "method": "didClose",
+                "params": {"uri": "mem:crossed"},
+            },
+            {"id": 8, "method": "shutdown", "params": {}},
+        ],
+        "lint_repair.jsonl": [
+            {"id": 1, "method": "lint", "params": dict(crossed, sarif=True)},
+            {"id": 2, "method": "repair", "params": crossed},
+            {"id": 3, "method": "shutdown", "params": {}},
+        ],
+        "errors.jsonl": [
+            {"raw": "{definitely not json"},
+            {"id": 1, "method": "mystery", "params": {}},
+            {"id": 2, "method": "analyze", "params": {"uri": "mem:ghost"}},
+            {"id": 3, "method": "shutdown", "params": {}},
+        ],
+    }
+
+
+def drive_transcript(requests):
+    server = make_server()
+    exchanges = []
+    for req in requests:
+        line = req["raw"] if "raw" in req else json.dumps(req)
+        reply = server.handle_line(line)
+        exchanges.append({"request": req, "response": normalize(reply)})
+    return exchanges
+
+
+@pytest.mark.parametrize("name", sorted(transcript_requests()))
+def test_golden_transcript(name):
+    requests = transcript_requests()[name]
+    exchanges = drive_transcript(requests)
+    path = GOLDEN_DIR / name
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(
+            "".join(json.dumps(x, sort_keys=True) + "\n" for x in exchanges)
+        )
+        pytest.skip(f"regenerated {path}")
+    assert path.exists(), (
+        f"missing golden transcript {path}; regenerate with "
+        "REPRO_REGEN_GOLDEN=1"
+    )
+    expected = [
+        json.loads(line) for line in path.read_text().splitlines()
+    ]
+    assert exchanges == expected
+
+
+# ---------------------------------------------------------------------------
+# stdio subprocess smoke
+
+
+def run_daemon(requests, *extra_args, timeout=180):
+    env = dict(os.environ)
+    root = Path(__file__).parent.parent
+    env["PYTHONPATH"] = str(root / "src")
+    lines = "".join(json.dumps(r) + "\n" for r in requests)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.server", *extra_args],
+        input=lines,
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=timeout,
+        cwd=root,
+    )
+    replies = [json.loads(l) for l in proc.stdout.splitlines()]
+    return proc, replies
+
+
+class TestStdioSmoke:
+    def test_full_round_trip(self, tmp_path):
+        proc, replies = run_daemon(
+            [
+                {
+                    "id": 1,
+                    "method": "analyze",
+                    "params": {"uri": "mem:a", "text": CROSSED_SRC},
+                },
+                {"id": 2, "method": "analyze", "params": {"uri": "mem:a"}},
+                {"id": 3, "method": "status", "params": {}},
+                {"id": 4, "method": "shutdown", "params": {}},
+            ],
+            "--cache-dir",
+            str(tmp_path),
+        )
+        assert proc.returncode == 0
+        assert proc.stderr == ""
+        by_id = {r["id"]: r for r in replies}
+        assert by_id[1]["result"]["cache"] == "computed"
+        assert by_id[2]["result"]["cache"] == "memory"
+        assert by_id[3]["result"]["counters"]["cache_hits"] == 1
+        assert by_id[4]["result"]["ok"] is True
+
+        # Same store, new process: resident across restarts.
+        proc2, replies2 = run_daemon(
+            [
+                {
+                    "id": 1,
+                    "method": "analyze",
+                    "params": {"uri": "mem:a", "text": CROSSED_SRC},
+                },
+                {"id": 2, "method": "shutdown", "params": {}},
+            ],
+            "--cache-dir",
+            str(tmp_path),
+        )
+        assert proc2.returncode == 0
+        assert replies2[0]["result"]["cache"] == "store"
+
+    def test_eof_is_graceful(self):
+        proc, replies = run_daemon(
+            [{"id": 1, "method": "ping", "params": {}}], "--no-store"
+        )
+        assert proc.returncode == 0
+        assert replies[0]["result"] == {"pong": True}
+
+    def test_stdout_is_protocol_pure(self, tmp_path):
+        proc, replies = run_daemon(
+            [
+                {
+                    "id": 1,
+                    "method": "analyze",
+                    "params": {"uri": "mem:a", "text": CROSSED_SRC},
+                },
+                {"id": "bad", "method": "nope", "params": {}},
+                {"id": 2, "method": "shutdown", "params": {}},
+            ],
+            "--no-store",
+        )
+        assert proc.returncode == 0
+        # Every stdout line parses and carries the envelope keys.
+        assert len(replies) == 3
+        for reply in replies:
+            assert set(reply) <= {"id", "result", "error"}
