@@ -10,7 +10,14 @@ The shape to reproduce: the packed-integer engine wins at every size,
 by at least 3x at the largest size of each family (dedup over ints,
 O(1) terminal checks, and precomputed successor deltas replace Wave
 allocation + tuple hashing in the innermost loop of the search).
-Headline numbers land in ``BENCH_explore.json``.
+
+A second comparison pits guided witness search (``strategy="astar"`` /
+``"beam"``, driven by the admissible future-cost table of
+``repro.waves.guide``) against blind BFS on the corridor family:
+guided search must return the same shortest witness while expanding
+strictly fewer states at every size, and at some size the gap must
+flip a verdict — under the budget A* needs, BFS comes back
+exploration-limited.  Headline numbers land in ``BENCH_explore.json``.
 
 Setting ``REPRO_PERF_SMOKE=1`` (the CI perf-smoke job) shrinks the
 families so the whole run stays under a minute on shared runners; the
@@ -28,13 +35,19 @@ from repro.syncgraph.build import build_sync_graph
 from repro.transforms.unroll import remove_loops
 from repro.waves.engine import WaveIndex
 from repro.waves.explore import explore
-from repro.waves.witness import find_anomaly_witness
+from repro.waves.guide import guide_for
+from repro.waves.witness import find_anomaly_witness, search_anomaly_witness
 from repro.workloads.corpus import paper_corpus
-from repro.workloads.patterns import barrier, dining_philosophers
+from repro.workloads.patterns import barrier, corridor, dining_philosophers
 
 SMOKE = os.environ.get("REPRO_PERF_SMOKE") == "1"
 DINING_SIZES = (3, 4) if SMOKE else (3, 4, 5, 6)
 BARRIER_SIZES = (4, 6) if SMOKE else (4, 6, 8, 10)
+# Guided-vs-BFS witness-search family: a deep deadlock corridor buried
+# in (depth, chatter) lockstep interleavings — the state space grows
+# like depth^chatter while the A* corridor walk stays linear.
+CORRIDOR_SIZES = ((4, 2), (5, 3)) if SMOKE else ((4, 2), (6, 4), (8, 5))
+BEAM_WIDTH = 64
 STATE_LIMIT = 1_000_000
 ROUNDS = 3  # timing repetitions; best-of to shed scheduler noise
 SPEEDUP_FLOOR = 3.0  # acceptance: indexed >= 3x at the largest size
@@ -162,6 +175,91 @@ def test_explore_engine_speedup(benchmark):
         )
         corpus_cases += 1
 
+    # Guided witness search vs blind BFS on the corridor family: the
+    # future-cost table walks straight down the deadlock corridor, so
+    # A* must find the same-length shortest witness while expanding
+    # strictly fewer states at every size — and at some size the gap
+    # must flip a verdict: under the budget A* needs, BFS comes back
+    # exploration-limited with nothing.
+    guided_rows = []
+    guided_results = []
+    for depth, chatter in CORRIDOR_SIZES:
+        graph = _graph(corridor(depth, chatter))
+        engine = WaveIndex(graph)
+        guide_for(engine)  # charge the table build once, like a
+        # long-lived caller (server session / repair verifier) would
+
+        def run(strategy, width=None, limit=STATE_LIMIT):
+            return search_anomaly_witness(
+                graph, kind="deadlock", state_limit=limit, engine=engine,
+                strategy=strategy, beam_width=width,
+            )
+
+        bfs_s, bfs_o = _best_of(lambda: run("bfs"))
+        astar_s, astar_o = _best_of(lambda: run("astar"))
+        beam_s, beam_o = _best_of(lambda: run("beam", BEAM_WIDTH))
+
+        for outcome in (bfs_o, astar_o, beam_o):
+            assert outcome.witness is not None, (depth, chatter)
+            assert outcome.witness.is_deadlock
+        # Consistent heuristic: the A* witness is shortest, like BFS.
+        assert len(astar_o.witness.schedule) == len(bfs_o.witness.schedule)
+        # The perf claim proper: A* expands strictly fewer states at
+        # every size; beam never more (at small sizes an un-truncated
+        # beam degenerates to the full space, tying BFS).
+        assert astar_o.states < bfs_o.states, (depth, chatter)
+        assert beam_o.states <= bfs_o.states, (depth, chatter)
+
+        # Verdict flip under a fixed budget: give BFS exactly the
+        # budget A* needed.  A* still confirms (witness in hand before
+        # exhaustion); BFS is exploration-limited with no witness.
+        budget = astar_o.states
+        astar_budgeted = run("astar", limit=budget)
+        bfs_budgeted = run("bfs", limit=budget)
+        budget_flip = (
+            astar_budgeted.witness is not None
+            and bfs_budgeted.witness is None
+            and bfs_budgeted.limited
+        )
+
+        guided_rows.append(
+            (
+                f"corridor({depth}x{chatter})",
+                len(bfs_o.witness.schedule),
+                bfs_o.states,
+                astar_o.states,
+                beam_o.states,
+                f"{bfs_o.states / astar_o.states:.1f}x",
+                "yes" if budget_flip else "no",
+            )
+        )
+        guided_results.append(
+            {
+                "family": "corridor",
+                "depth": depth,
+                "chatter": chatter,
+                "witness_len": len(bfs_o.witness.schedule),
+                "bfs_states": bfs_o.states,
+                "astar_states": astar_o.states,
+                "beam_states": beam_o.states,
+                "beam_width": BEAM_WIDTH,
+                "bfs_s": round(bfs_s, 6),
+                "astar_s": round(astar_s, 6),
+                "beam_s": round(beam_s, 6),
+                "state_reduction": round(bfs_o.states / astar_o.states, 2),
+                "budget": budget,
+                "budget_flip": budget_flip,
+            }
+        )
+
+    print_table(
+        "Witness search: guided (A*/beam) vs blind BFS on corridor",
+        ["case", "witness", "bfs", "astar", "beam", "reduction", "flip"],
+        guided_rows,
+    )
+    # Acceptance: some size flips CONFIRMED-vs-limited under one budget.
+    assert any(e["budget_flip"] for e in guided_results), guided_results
+
     def timed_scenario():
         # One representative case under pytest-benchmark so the run
         # shows up in --benchmark-only output (engine prebuilt once,
@@ -181,5 +279,7 @@ def test_explore_engine_speedup(benchmark):
             "state_limit": STATE_LIMIT,
             "corpus_cases_checked": corpus_cases,
             "cases": results,
+            "beam_width": BEAM_WIDTH,
+            "guided_cases": guided_results,
         },
     )

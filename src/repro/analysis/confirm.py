@@ -26,9 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
-from ..errors import ExplorationLimitError
 from ..syncgraph.model import SyncGraph
-from ..waves.witness import AnomalyWitness, find_anomaly_witness
+from ..waves.witness import AnomalyWitness, search_anomaly_witness
 from .results import DeadlockReport, Verdict
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api -> confirm)
@@ -84,11 +83,19 @@ def confirm_deadlock_report(
     state_limit: int = 100_000,
     backend: str = "index",
     loop_faithful: Optional[bool] = None,
+    strategy: str = "bfs",
+    beam_width: Optional[int] = None,
 ) -> ConfirmedReport:
     """Attempt to confirm or refute a possible-deadlock report.
 
     Does nothing when the report already certifies the program.
-    ``backend`` selects the wave-search kernel (bit-exact either way).
+    ``backend`` selects the wave-search kernel (bit-exact either way);
+    ``strategy`` the expansion order (``"bfs"``, ``"astar"``, or
+    ``"beam"`` with ``beam_width`` — see :mod:`repro.waves.guide`).
+    Strategy never changes the outcome grading: a CONFIRMED witness is
+    a real schedule whatever order found it, and REFUTED requires an
+    unlimited, untruncated search (a truncated beam can only CONFIRM
+    or stay INCONCLUSIVE).
 
     ``loop_faithful`` states whether ``graph`` reflects the program's
     true loop semantics.  When it does not (an approximate Lemma-1
@@ -106,22 +113,21 @@ def confirm_deadlock_report(
             outcome=ConfirmationOutcome.NOT_NEEDED,
             states_budget=state_limit,
         )
-    try:
-        witness = find_anomaly_witness(
-            graph, kind="deadlock", state_limit=state_limit,
-            backend=backend,
-        )
-    except ExplorationLimitError:
-        return ConfirmedReport(
-            report=report,
-            outcome=ConfirmationOutcome.INCONCLUSIVE,
-            states_budget=state_limit,
-        )
-    if witness is not None:
+    outcome = search_anomaly_witness(
+        graph, kind="deadlock", state_limit=state_limit,
+        backend=backend, strategy=strategy, beam_width=beam_width,
+    )
+    if outcome.witness is not None:
         return ConfirmedReport(
             report=report,
             outcome=ConfirmationOutcome.CONFIRMED,
-            witness=witness,
+            witness=outcome.witness,
+            states_budget=state_limit,
+        )
+    if outcome.limited:
+        return ConfirmedReport(
+            report=report,
+            outcome=ConfirmationOutcome.INCONCLUSIVE,
             states_budget=state_limit,
         )
     return ConfirmedReport(
@@ -139,6 +145,8 @@ def confirm_analysis(
     result: "AnalysisResult",
     state_limit: int = 100_000,
     backend: str = "index",
+    strategy: str = "bfs",
+    beam_width: Optional[int] = None,
 ) -> ConfirmedReport:
     """Confirm or refute one :func:`repro.api.analyze` result.
 
@@ -162,4 +170,6 @@ def confirm_analysis(
         state_limit=state_limit,
         backend=backend,
         loop_faithful=True,
+        strategy=strategy,
+        beam_width=beam_width,
     )

@@ -45,6 +45,7 @@ from .syncgraph.model import SyncGraph
 from .transforms.inline import inline_procedures
 from .transforms.unroll import has_approximated_loops, remove_loops
 from .waves.explore import explore
+from .waves.guide import DEFAULT_BEAM_WIDTH, validate_strategy
 
 if TYPE_CHECKING:  # pragma: no cover - farm imports api at runtime
     from .farm.cache import ResultCache
@@ -204,6 +205,8 @@ def _finish(
     index=None,
     engine=None,
     uri: Optional[str] = None,
+    strategy: str = "bfs",
+    beam_width: Optional[int] = None,
 ) -> AnalysisResult:
     """Back half of the pipeline: detector + stall analysis + assembly."""
     graph = prep.sync_graph
@@ -215,9 +218,13 @@ def _finish(
                 backend=backend,
                 engine=engine,
                 on_limit="partial",
+                strategy=strategy,
+                beam_width=beam_width,
             )
             # A limited run that found no deadlock proves nothing:
-            # stay conservative instead of certifying blind.
+            # stay conservative instead of certifying blind.  Beam
+            # truncation is folded into `limited` by explore(), so a
+            # truncated witnessless beam also stays POSSIBLE.
             deadlock = DeadlockReport(
                 verdict=(
                     Verdict.POSSIBLE_DEADLOCK
@@ -229,9 +236,24 @@ def _finish(
                     "feasible_waves": result.visited_count,
                     "exploration_limited": result.limited,
                     "explored_pre_unroll_graph": prep.approximated,
+                    "strategy": result.strategy,
+                    # Budget-faithful partial finding: a deadlock wave
+                    # discovered before exhaustion is definite even
+                    # when the run was limited.
+                    "deadlock_waves": len(result.deadlock_waves),
                 },
             )
+            if strategy == "beam":
+                deadlock.stats["beam_width"] = (
+                    beam_width
+                    if beam_width is not None
+                    else DEFAULT_BEAM_WIDTH
+                )
+                deadlock.stats["beam_truncated"] = result.truncated
         else:
+            # Strategy only steers exact search; still validate it so a
+            # typo'd knob fails loudly instead of silently meaning bfs.
+            validate_strategy(strategy, beam_width)
             try:
                 runner = ALGORITHMS[algorithm]
             except KeyError:
@@ -288,6 +310,8 @@ def analyze_prepared(
     index=None,
     engine=None,
     uri: Optional[str] = None,
+    strategy: str = "bfs",
+    beam_width: Optional[int] = None,
 ) -> AnalysisResult:
     """Run the detector half of :func:`analyze` on a prepared program.
 
@@ -297,7 +321,9 @@ def analyze_prepared(
     prebuilt :class:`~repro.analysis.index.AnalysisIndex` with the
     :data:`INDEX_AWARE` algorithms; ``engine`` shares a prebuilt
     :class:`~repro.waves.engine.WaveIndex` with exact exploration (it
-    must have been built over ``prep.exact_graph``).
+    must have been built over ``prep.exact_graph``).  ``strategy`` /
+    ``beam_width`` steer exact exploration exactly as in
+    :func:`analyze`.
     """
     with obs.span("analyze", algorithm=algorithm):
         return _finish(
@@ -309,6 +335,8 @@ def analyze_prepared(
             index=index,
             engine=engine,
             uri=uri,
+            strategy=strategy,
+            beam_width=beam_width,
         )
 
 
@@ -319,6 +347,8 @@ def analyze(
     state_limit: int = 200_000,
     backend: str = "index",
     uri: Optional[str] = None,
+    strategy: str = "bfs",
+    beam_width: Optional[int] = None,
 ) -> AnalysisResult:
     """Run the full static pipeline on ``program``.
 
@@ -339,6 +369,14 @@ def analyze(
     ``possible-deadlock`` with ``stats["exploration_limited"]`` set,
     and any deadlock wave found before exhaustion still counts.
 
+    ``strategy`` selects the exact-search expansion order: ``"bfs"``
+    (default), ``"astar"`` guided by the admissible future-cost table
+    of :mod:`repro.waves.guide`, or ``"beam"`` with ``beam_width``.
+    Strategy never changes an exhaustive verdict — it only changes
+    which states are in hand when ``state_limit`` trips, so a guided
+    run can settle programs whose budget-limited BFS verdict was
+    inconclusive.  ``stats["strategy"]`` records the order used.
+
     ``uri`` records where the source came from (file path or a
     synthetic editor-buffer URI) on the result; it never changes the
     analysis or the serialized report.
@@ -352,6 +390,8 @@ def analyze(
             state_limit=state_limit,
             backend=backend,
             uri=uri,
+            strategy=strategy,
+            beam_width=beam_width,
         )
 
 
@@ -364,6 +404,8 @@ def analyze_many(
     timeout: Optional[float] = None,
     cache: Union["ResultCache", str, Path, bool, None] = None,
     backend: str = "index",
+    strategy: str = "bfs",
+    beam_width: Optional[int] = None,
 ) -> "BatchReport":
     """Analyze many programs through the batch farm.
 
@@ -392,6 +434,8 @@ def analyze_many(
         timeout=timeout,
         cache=cache,
         backend=backend,
+        strategy=strategy,
+        beam_width=beam_width,
     )
 
 

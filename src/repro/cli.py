@@ -49,6 +49,7 @@ from .interp.runtime import sample_runs
 from .reporting import render_json
 from .syncgraph.clg import build_clg
 from .syncgraph.dot import clg_to_dot, sync_graph_to_dot
+from .waves.guide import validate_strategy
 
 __all__ = ["main", "build_arg_parser"]
 
@@ -145,6 +146,29 @@ def build_arg_parser() -> argparse.ArgumentParser:
             "analysis kernel: the indexed bitset/packed-wave engines "
             "(default) or the set-based reference oracles; verdicts "
             "are bit-exact either way"
+        ),
+    )
+    parser.add_argument(
+        "--strategy",
+        default="bfs",
+        choices=["bfs", "astar", "beam"],
+        help=(
+            "expansion order for bounded exact searches (--algorithm "
+            "exact, --confirm, --suggest-fixes escalation): bfs "
+            "(default), astar guided by the admissible future-cost "
+            "table, or beam (see --beam-width); guided strategies "
+            "never change exhaustive verdicts, only how far a state "
+            "budget reaches (needs --backend index)"
+        ),
+    )
+    parser.add_argument(
+        "--beam-width",
+        type=int,
+        metavar="N",
+        help=(
+            "with --strategy beam, states kept per depth layer "
+            "(default: 1024); a truncated beam counts as a limited "
+            "search"
         ),
     )
     parser.add_argument(
@@ -279,6 +303,19 @@ def _report_json(
     return render_json(payload)
 
 
+def _check_strategy(args) -> Optional[str]:
+    """Strategy/beam-width/backend combo error, or None when valid.
+
+    Checked once up front so every mode (one-shot, --confirm, batch)
+    rejects a bad combination with exit code 2 before any work runs.
+    """
+    try:
+        validate_strategy(args.strategy, args.beam_width, args.backend)
+    except ValueError as exc:
+        return str(exc)
+    return None
+
+
 def _chatter(args, *values, **kwargs) -> None:
     """Print human-readable chatter without dirtying JSON stdout.
 
@@ -310,6 +347,8 @@ def _suggest_fixes(args, source: str, result=None):
             state_limit=args.state_limit,
             max_fixes=args.max_fixes,
             result=result,
+            strategy=args.strategy,
+            beam_width=args.beam_width,
         )
     except ReproError:
         return None
@@ -411,6 +450,8 @@ def _batch_main(args) -> int:
             cache=False if args.no_cache else (args.cache_dir or True),
             backend=args.backend,
             lint=args.lint,
+            strategy=args.strategy,
+            beam_width=args.beam_width,
         )
     except _ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -457,6 +498,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         return serve_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
+    strategy_error = _check_strategy(args)
+    if strategy_error is not None:
+        print(f"error: {strategy_error}", file=sys.stderr)
+        return 2
     if args.batch:
         return _batch_main(args)
     if len(args.sources) > 1:
@@ -486,6 +531,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             algorithm=args.algorithm,
             state_limit=args.state_limit,
             backend=args.backend,
+            strategy=args.strategy,
+            beam_width=args.beam_width,
         )
         simulation = (
             sample_runs(result.program, runs=args.simulate)
@@ -497,6 +544,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 result,
                 state_limit=args.state_limit,
                 backend=args.backend,
+                strategy=args.strategy,
+                beam_width=args.beam_width,
             )
             if args.confirm
             else None

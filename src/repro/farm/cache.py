@@ -64,7 +64,11 @@ __all__ = [
 # {"analysis", "lint_counts"} wrapper (PR 7).
 # v5: AnalysisResult gained the source-provenance ``uri`` field
 # (repro.server in-memory buffers); older pickles miss the attribute.
-PIPELINE_VERSION = 5
+# v6: guided exact search — exact reports gained stats["strategy"] (and
+# beam_width/beam_truncated for beam runs), and the search strategy /
+# beam width joined the cache key: budget-limited runs legitimately
+# differ by expansion order, so strategies must not share entries.
+PIPELINE_VERSION = 6
 
 # On-disk envelope format, independent of analysis semantics.
 CACHE_FORMAT = 1
@@ -92,6 +96,8 @@ def cache_key(
     state_limit: int = 200_000,
     exact: bool = False,
     lint: bool = False,
+    strategy: str = "bfs",
+    beam_width: Optional[int] = None,
 ) -> str:
     """Content hash addressing one analysis run.
 
@@ -99,7 +105,11 @@ def cache_key(
     ``lint`` switch: everything that can change the stored entry is
     hashed, nothing else is.  Lint-enabled entries carry extra payload
     (per-rule diagnostic counts), so they live under distinct keys
-    rather than shadowing plain analysis results.
+    rather than shadowing plain analysis results.  ``strategy`` and
+    ``beam_width`` are part of the key because a *budget-limited* exact
+    run's verdict legitimately depends on expansion order (an
+    exhaustive run does not, but the stats payload still differs);
+    ``backend`` stays out — both kernels are bit-exact.
     """
     stamp = "\n".join(
         (
@@ -108,6 +118,8 @@ def cache_key(
             f"state_limit={state_limit}",
             f"exact={exact}",
             f"lint={lint}",
+            f"strategy={strategy}",
+            f"beam_width={beam_width}",
             canonical_source(program),
         )
     )

@@ -80,6 +80,8 @@ class WorkItem:
     state_limit: int = 200_000
     backend: str = "index"
     lint: bool = False
+    strategy: str = "bfs"
+    beam_width: Optional[int] = None
 
 
 @dataclass
@@ -138,6 +140,8 @@ def analyze_item(item: WorkItem) -> WorkOutcome:
             exact=item.exact,
             state_limit=item.state_limit,
             backend=item.backend,
+            strategy=item.strategy,
+            beam_width=item.beam_width,
         )
         lint_counts = None
         if item.lint:

@@ -255,6 +255,8 @@ def run_batch(
     cache: Union[ResultCache, str, Path, bool, None] = None,
     backend: str = "index",
     lint: bool = False,
+    strategy: str = "bfs",
+    beam_width: Optional[int] = None,
 ) -> BatchReport:
     """Analyze many programs with caching and parallelism.
 
@@ -270,7 +272,9 @@ def run_batch(
     ``backend`` picks the analysis kernel (see
     :data:`repro.api.BACKEND_AWARE`).  It is deliberately *not* part of
     the cache key: both kernels are bit-exact, so their results are
-    interchangeable cache entries.
+    interchangeable cache entries.  ``strategy``/``beam_width`` steer
+    exact exploration (see :mod:`repro.waves.guide`) and *are* keyed —
+    a budget-limited run's findings depend on expansion order.
 
     ``lint`` additionally runs the lint rules over every item; each
     :class:`ItemReport` then carries ``lint_counts`` (rule id ->
@@ -293,7 +297,8 @@ def run_batch(
             if result_cache is not None:
                 try:
                     key = cache_key(
-                        source, algorithm, state_limit, exact, lint
+                        source, algorithm, state_limit, exact, lint,
+                        strategy=strategy, beam_width=beam_width,
                     )
                 except ReproError:
                     # Unparseable: let the worker produce the FAILED
@@ -324,6 +329,8 @@ def run_batch(
                         state_limit=state_limit,
                         backend=backend,
                         lint=lint,
+                        strategy=strategy,
+                        beam_width=beam_width,
                     ),
                     key,
                 )

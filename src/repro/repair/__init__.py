@@ -74,6 +74,8 @@ def suggest_repairs(
     timeout: Optional[float] = None,
     cache: Union["ResultCache", str, Path, bool, None] = None,
     result: Optional["AnalysisResult"] = None,
+    strategy: str = "bfs",
+    beam_width: Optional[int] = None,
 ) -> RepairReport:
     """Synthesize and certify deadlock fixes for one convicted program.
 
@@ -88,6 +90,10 @@ def suggest_repairs(
     WaveIndex state budget for the exact escalation pass (0 disables
     it).  ``jobs``/``timeout``/``cache`` configure the verification
     farm batch exactly as in :func:`repro.analyze_many`.
+    ``strategy``/``beam_width`` steer the exact escalation's expansion
+    order (see :mod:`repro.waves.guide`): a guided escalation can
+    rescue — or reject with a concrete deadlock wave — candidates the
+    same budget leaves inconclusive under BFS.
     """
     if result is None:
         if program is None:
@@ -125,9 +131,13 @@ def suggest_repairs(
             jobs=jobs,
             timeout=timeout,
             cache=cache,
+            strategy=strategy,
+            beam_width=beam_width,
         )
         report.candidates_rejected = (
-            stats["rejected_failed"] + stats["rejected_still_convicted"]
+            stats["rejected_failed"]
+            + stats["rejected_still_convicted"]
+            + stats["rejected_confirmed_deadlock"]
         )
         report.stats = stats
         report.fixes = rank_fixes(fixes)[:max_fixes]

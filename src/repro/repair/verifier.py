@@ -13,10 +13,17 @@ reuses the production analysis stack wholesale:
    detector.
 3. A candidate the detector still convicts gets one escalation: exact
    wave exploration (``repro.analyze(..., exact=True)``, WaveIndex
-   backend) under ``exact_budget`` states.  The polynomial analyses
-   are conservative, so this rescues candidates that are actually free
-   but trip a residual false alarm.  A budget-limited exact run proves
-   nothing and the candidate stays rejected.
+   backend) under ``exact_budget`` states, optionally guided
+   (``strategy="astar"``/``"beam"`` — see :mod:`repro.waves.guide`).
+   The polynomial analyses are conservative, so this rescues
+   candidates that are actually free but trip a residual false alarm.
+   The escalation grades three ways: an exhaustive run with no
+   deadlock wave *rescues* the candidate (``certified_exact``); a run
+   that found a concrete deadlock wave — guided search reaches these
+   under budgets where BFS drowns — rejects it with proof
+   (``rejected_confirmed_deadlock``); a budget-limited witnessless run
+   proves nothing and the candidate stays rejected
+   (``rejected_still_convicted``).
 
 Every rejection bumps the ``repair.candidates_rejected`` observability
 counter — a nonzero count is the audit trail showing the verifier
@@ -39,30 +46,59 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["verify_candidates"]
 
+_EMPTY_STATS = {
+    "certified_static": 0,
+    "certified_exact": 0,
+    "rejected_failed": 0,
+    "rejected_still_convicted": 0,
+    "rejected_confirmed_deadlock": 0,
+}
+
+
+# Escalation dispositions (internal; surfaced through the stats dict).
+_RESCUED = "rescued"
+_CONFIRMED = "confirmed"
+_INCONCLUSIVE = "inconclusive"
+
 
 def _exact_escalation(
     candidate: RepairCandidate,
     exact_budget: int,
     backend: str,
-) -> Optional["AnalysisResult"]:
-    """Exact-search a still-convicted candidate; None unless certified.
+    strategy: str = "bfs",
+    beam_width: Optional[int] = None,
+) -> Tuple[Optional["AnalysisResult"], str]:
+    """Exact-search a still-convicted candidate: ``(result, outcome)``.
 
-    Only an *unlimited* exact run that found no deadlock wave counts —
-    ``analyze`` already folds budget exhaustion into a conservative
-    possible-deadlock verdict, so checking ``deadlock_free`` suffices.
+    ``analyze`` folds budget exhaustion into a conservative
+    possible-deadlock verdict, so the grading reads the stats: a clean
+    unlimited run rescues (result returned), a run whose search
+    *found* a deadlock wave confirms the conviction (no rescue, and no
+    point retrying with a bigger budget), and a limited witnessless
+    run stays inconclusive.  A guided ``strategy`` changes only which
+    of those a given budget lands on — typically turning inconclusive
+    into rescued or confirmed.
     """
     if exact_budget <= 0:
-        return None
+        return None, _INCONCLUSIVE
     try:
         result = analyze(
             candidate.program,
             exact=True,
             state_limit=exact_budget,
             backend=backend,
+            strategy=strategy,
+            beam_width=beam_width,
         )
     except Exception:
-        return None
-    return result if result.deadlock.deadlock_free else None
+        return None, _INCONCLUSIVE
+    if result.deadlock.deadlock_free:
+        return result, _RESCUED
+    if result.deadlock.stats.get("deadlock_waves", 0) > 0:
+        # A reachable deadlock wave is in hand — definite even when
+        # the run was budget-limited (budget-faithful partial result).
+        return None, _CONFIRMED
+    return None, _INCONCLUSIVE
 
 
 def verify_candidates(
@@ -75,22 +111,23 @@ def verify_candidates(
     jobs: int = 1,
     timeout: Optional[float] = None,
     cache: Union["ResultCache", str, Path, bool, None] = None,
+    strategy: str = "bfs",
+    beam_width: Optional[int] = None,
 ) -> Tuple[List[CertifiedFix], Dict[str, int]]:
     """Certify or reject every candidate; returns (fixes, stats).
 
     ``stats`` breaks the rejections down: ``rejected_failed`` (candidate
     did not survive the pipeline at all — parse/validation/crash),
-    ``rejected_still_convicted`` (analyzed fine but the deadlock
-    remains), plus ``certified_static`` / ``certified_exact`` for the
-    survivors.
+    ``rejected_confirmed_deadlock`` (the exact escalation *found* a
+    deadlock wave in the candidate — rejection with proof),
+    ``rejected_still_convicted`` (analyzed fine but the conviction
+    stands unsettled), plus ``certified_static`` / ``certified_exact``
+    for the survivors.  ``strategy``/``beam_width`` steer the exact
+    escalation's expansion order only — the static batch is
+    strategy-independent, so its cache entries stay shared.
     """
     if not candidates:
-        return [], {
-            "certified_static": 0,
-            "certified_exact": 0,
-            "rejected_failed": 0,
-            "rejected_still_convicted": 0,
-        }
+        return [], dict(_EMPTY_STATS)
 
     batch = run_batch(
         [
@@ -107,12 +144,7 @@ def verify_candidates(
 
     original_stall_free = original.stall.stall_free
     fixes: List[CertifiedFix] = []
-    stats = {
-        "certified_static": 0,
-        "certified_exact": 0,
-        "rejected_failed": 0,
-        "rejected_still_convicted": 0,
-    }
+    stats = dict(_EMPTY_STATS)
     for cand, item in zip(candidates, batch.items):
         if not item.ok or item.result is None:
             stats["rejected_failed"] += 1
@@ -123,13 +155,19 @@ def verify_candidates(
             certified_by = algorithm
             stats["certified_static"] += 1
         else:
-            rescued = _exact_escalation(cand, exact_budget, backend)
+            rescued, disposition = _exact_escalation(
+                cand, exact_budget, backend,
+                strategy=strategy, beam_width=beam_width,
+            )
             if rescued is not None:
                 result = rescued
                 certified_by = "exact-waves"
                 stats["certified_exact"] += 1
         if certified_by is None:
-            stats["rejected_still_convicted"] += 1
+            if disposition == _CONFIRMED:
+                stats["rejected_confirmed_deadlock"] += 1
+            else:
+                stats["rejected_still_convicted"] += 1
             continue
         fixes.append(
             CertifiedFix(
@@ -143,7 +181,9 @@ def verify_candidates(
         )
 
     rejected = (
-        stats["rejected_failed"] + stats["rejected_still_convicted"]
+        stats["rejected_failed"]
+        + stats["rejected_still_convicted"]
+        + stats["rejected_confirmed_deadlock"]
     )
     if rejected:
         obs.counter("repair.candidates_rejected").inc(rejected)

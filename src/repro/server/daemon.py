@@ -144,6 +144,7 @@ class AnalysisServer:
     # -- handlers --------------------------------------------------------
 
     def _handle_analyze(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        beam_width = params.get("beam_width")
         payload, cache = self.session.analyze_document(
             uri=params.get("uri"),
             text=params.get("text"),
@@ -152,6 +153,8 @@ class AnalysisServer:
             state_limit=int(params.get("state_limit", 200_000)),
             backend=params.get("backend", "index"),
             timeout=params.get("timeout"),
+            strategy=params.get("strategy", "bfs"),
+            beam_width=int(beam_width) if beam_width is not None else None,
         )
         return {"report": payload, "cache": cache}
 
@@ -169,6 +172,7 @@ class AnalysisServer:
         return result
 
     def _handle_repair(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        beam_width = params.get("beam_width")
         payload, cache = self.session.repair_document(
             uri=params.get("uri"),
             text=params.get("text"),
@@ -176,6 +180,8 @@ class AnalysisServer:
             backend=params.get("backend", "index"),
             state_limit=int(params.get("state_limit", 200_000)),
             max_fixes=int(params.get("max_fixes", 5)),
+            strategy=params.get("strategy", "bfs"),
+            beam_width=int(beam_width) if beam_width is not None else None,
         )
         return {"report": payload, "cache": cache}
 

@@ -55,6 +55,7 @@ from ..farm.pool import (
 from ..lang.ast_nodes import Program
 from ..lang.parser import parse_program
 from ..lang.pretty import pretty
+from ..waves.guide import validate_strategy
 from ..reporting import analysis_result_to_dict, repair_report_to_dict
 from .protocol import PROTOCOL_VERSION, RequestTimeout
 
@@ -386,6 +387,8 @@ class Session:
         state_limit: int = 200_000,
         backend: str = "index",
         timeout: Optional[float] = None,
+        strategy: str = "bfs",
+        beam_width: Optional[int] = None,
     ) -> Tuple[Dict[str, Any], str]:
         """One ``analyze`` request: ``(report payload, cache source)``.
 
@@ -394,7 +397,9 @@ class Session:
         one-shot CLI prints with ``--json``.  Cache source is
         ``"memory"`` (resident LRU — no re-parse, no re-index),
         ``"store"`` (content-addressed disk entry from an earlier
-        daemon run or batch), or ``"computed"``.
+        daemon run or batch), or ``"computed"``.  ``strategy`` /
+        ``beam_width`` steer exact exploration exactly like
+        :func:`repro.api.analyze`; they are part of the cache key.
         """
         result, payload, cache = self._analysis(
             self._resolve(uri, text),
@@ -403,6 +408,8 @@ class Session:
             state_limit=state_limit,
             backend=backend,
             timeout=timeout,
+            strategy=strategy,
+            beam_width=beam_width,
         )
         return payload, cache
 
@@ -414,17 +421,22 @@ class Session:
         state_limit: int,
         backend: str,
         timeout: Optional[float] = None,
+        strategy: str = "bfs",
+        beam_width: Optional[int] = None,
     ) -> Tuple[AnalysisResult, Dict[str, Any], str]:
         if algorithm != "exact" and algorithm not in ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {algorithm!r}; choose one of "
                 f"{sorted(ALGORITHMS)} or 'exact'"
             )
+        validate_strategy(strategy, beam_width)
         key = cache_key(
             doc.program(),
             algorithm=algorithm,
             state_limit=state_limit,
             exact=exact,
+            strategy=strategy,
+            beam_width=beam_width,
         )
         cached = self.lru.get(key)
         if cached is not None:
@@ -441,7 +453,8 @@ class Session:
         is_exact = exact or algorithm == "exact"
         if timeout is not None and is_exact:
             result = self._analyze_pooled(
-                doc, algorithm, exact, state_limit, backend, timeout
+                doc, algorithm, exact, state_limit, backend, timeout,
+                strategy=strategy, beam_width=beam_width,
             )
         else:
             prep = doc.prepared()
@@ -466,6 +479,8 @@ class Session:
                 index=index,
                 engine=engine,
                 uri=doc.uri,
+                strategy=strategy,
+                beam_width=beam_width,
             )
         payload = analysis_result_to_dict(result)
         self.lru.put(key, (result, payload))
@@ -483,6 +498,8 @@ class Session:
         state_limit: int,
         backend: str,
         timeout: float,
+        strategy: str = "bfs",
+        beam_width: Optional[int] = None,
     ) -> AnalysisResult:
         """Run one exact-exploration request under a preemptive budget.
 
@@ -497,6 +514,8 @@ class Session:
             exact=exact,
             state_limit=state_limit,
             backend=backend,
+            strategy=strategy,
+            beam_width=beam_width,
         )
         outcome = run_pool([item], jobs=2, timeout=timeout)[0]
         if outcome.status == STATUS_TIMEOUT:
@@ -561,6 +580,8 @@ class Session:
         backend: str = "index",
         state_limit: int = 200_000,
         max_fixes: int = 5,
+        strategy: str = "bfs",
+        beam_width: Optional[int] = None,
     ) -> Tuple[Dict[str, Any], str]:
         """One ``repair`` request: the CLI ``--suggest-fixes --json``
         payload (analysis report + ``"repair"`` key), cache-aware.
@@ -584,6 +605,8 @@ class Session:
             doc.program(),
             algorithm=repair_algorithm,
             state_limit=state_limit,
+            strategy=strategy,
+            beam_width=beam_width,
         ) + f":{max_fixes}"
         cached = self.lru.get(repair_key)
         if cached is not None:
@@ -595,6 +618,8 @@ class Session:
             backend=backend,
             state_limit=state_limit,
             max_fixes=max_fixes,
+            strategy=strategy,
+            beam_width=beam_width,
         )
         # Re-render through the same reporting entry point the CLI uses
         # so the repair-bearing payload is byte-identical to

@@ -17,6 +17,14 @@ from .explore import (
     exact_deadlock,
     explore,
 )
+from .guide import (
+    DEFAULT_BEAM_WIDTH,
+    STRATEGIES,
+    FutureCostTable,
+    build_guide,
+    guide_for,
+    validate_strategy,
+)
 from .wave import (
     Wave,
     initial_waves,
@@ -26,14 +34,27 @@ from .wave import (
     ready_pairs,
 )
 from .states import NodeState, StateSnapshot, label_wave, trace_states
-from .witness import AnomalyWitness, find_anomaly_witness
+from .witness import (
+    AnomalyWitness,
+    WitnessSearchOutcome,
+    find_anomaly_witness,
+    search_anomaly_witness,
+)
 
 __all__ = [
     "BACKENDS",
+    "DEFAULT_BEAM_WIDTH",
     "DEFAULT_STATE_LIMIT",
+    "STRATEGIES",
     "ExplorationResult",
     "AnomalyWitness",
+    "FutureCostTable",
     "WaveIndex",
+    "WitnessSearchOutcome",
+    "build_guide",
+    "guide_for",
+    "search_anomaly_witness",
+    "validate_strategy",
     "NodeState",
     "StateSnapshot",
     "Wave",

@@ -40,10 +40,12 @@ from ..errors import ExplorationLimitError
 from ..syncgraph.model import SyncGraph, SyncNode
 from .anomaly import WaveClassification, classify_wave
 from .engine import BACKENDS, WaveIndex
+from .guide import STRATEGIES, guide_for, validate_strategy
 from .wave import Wave, _advance_options, iter_initial_waves, ready_pairs
 
 __all__ = [
     "BACKENDS",
+    "STRATEGIES",
     "ExplorationResult",
     "explore",
     "exact_deadlock",
@@ -63,11 +65,18 @@ class ExplorationResult:
     wave.  ``can_terminate`` is True when some feasible wave has every
     task at ``e``.
 
-    ``limited`` marks a run that exhausted ``state_limit``: the result
+    ``limited`` marks a run that exhausted ``state_limit`` **or** (for
+    ``strategy="beam"``) dropped states to the beam width: the result
     is then a *partial* truth — anomalies listed and
     ``can_terminate=True`` are definite (every classified wave is
     genuinely reachable), but absence of anomalies and
-    ``can_terminate=False`` are inconclusive.
+    ``can_terminate=False`` are inconclusive.  ``truncated`` singles
+    out the beam-width cause; it always implies ``limited``.
+
+    ``strategy`` records the expansion order used (see
+    :data:`repro.waves.guide.STRATEGIES`).  Strategy never changes
+    what an *exhaustive* run finds — only which states are in hand
+    when a budget trips.
     """
 
     graph: SyncGraph
@@ -76,6 +85,8 @@ class ExplorationResult:
     can_terminate: bool = False
     limited: bool = False
     state_limit: Optional[int] = None
+    strategy: str = "bfs"
+    truncated: bool = False
 
     @property
     def has_anomaly(self) -> bool:
@@ -117,6 +128,8 @@ def explore(
     backend: str = "index",
     engine: Optional[WaveIndex] = None,
     on_limit: str = "raise",
+    strategy: str = "bfs",
+    beam_width: Optional[int] = None,
 ) -> ExplorationResult:
     """Enumerate ``NextWavesSet*(W_INIT)`` and classify anomalies.
 
@@ -124,12 +137,21 @@ def explore(
     engine, ``"reference"`` oracle; bit-exact either way).  ``engine``
     optionally reuses a prebuilt :class:`WaveIndex`.
 
+    ``strategy`` selects the expansion order: ``"bfs"`` (default,
+    bit-exact with the reference oracle), ``"astar"`` best-first on
+    the admissible future-cost table of :mod:`repro.waves.guide`, or
+    ``"beam"`` (with ``beam_width``) keeping only the most promising
+    states per depth layer.  An exhaustive bfs/astar run visits the
+    same state set either way; beam truncation marks the result
+    ``limited`` because dropped states certify nothing.
+
     When more than ``state_limit`` distinct waves are reached the
     search stops discovering but still classifies everything already in
     hand; ``on_limit="raise"`` (default) then raises
     :class:`~repro.errors.ExplorationLimitError` with the partial
     result attached as ``.result``, while ``on_limit="partial"``
     returns the partial :class:`ExplorationResult` (``limited=True``).
+    The budget contract is identical for every strategy.
     """
     if backend not in BACKENDS:
         raise ValueError(
@@ -140,19 +162,44 @@ def explore(
             f"unknown on_limit mode {on_limit!r}; "
             f"choose one of {ON_LIMIT_MODES}"
         )
+    effective_width = validate_strategy(strategy, beam_width, backend)
     with obs.span(
-        "explore", state_limit=state_limit, backend=backend
+        "explore", state_limit=state_limit, backend=backend,
+        strategy=strategy,
     ) as span:
+        truncated = False
         if backend == "index":
             if engine is None:
                 engine = WaveIndex(graph)
-            (
-                visited_count,
-                can_terminate,
-                anomalous,
-                limited,
-                frontier_peak,
-            ) = engine.explore(state_limit)
+            if strategy == "bfs":
+                (
+                    visited_count,
+                    can_terminate,
+                    anomalous,
+                    limited,
+                    frontier_peak,
+                ) = engine.explore(state_limit)
+            elif strategy == "astar":
+                (
+                    visited_count,
+                    can_terminate,
+                    anomalous,
+                    limited,
+                    frontier_peak,
+                ) = engine.explore_astar(
+                    state_limit, guide_for(engine).estimate
+                )
+            else:
+                (
+                    visited_count,
+                    can_terminate,
+                    anomalous,
+                    limited,
+                    frontier_peak,
+                    truncated,
+                ) = engine.explore_beam(
+                    state_limit, guide_for(engine).estimate, effective_width
+                )
         else:
             (
                 visited_count,
@@ -168,6 +215,8 @@ def explore(
             can_terminate=can_terminate,
             limited=limited,
             state_limit=state_limit,
+            strategy=strategy,
+            truncated=truncated,
         )
         _record_exploration(span, visited_count, frontier_peak, limited)
     if result.limited and on_limit == "raise":
@@ -245,15 +294,25 @@ def exact_deadlock(
     graph: SyncGraph,
     state_limit: int = DEFAULT_STATE_LIMIT,
     backend: str = "index",
+    strategy: str = "bfs",
+    beam_width: Optional[int] = None,
 ) -> bool:
     """True iff some feasible wave exhibits a deadlock anomaly."""
-    return explore(graph, state_limit, backend=backend).has_deadlock
+    return explore(
+        graph, state_limit, backend=backend,
+        strategy=strategy, beam_width=beam_width,
+    ).has_deadlock
 
 
 def exact_anomaly(
     graph: SyncGraph,
     state_limit: int = DEFAULT_STATE_LIMIT,
     backend: str = "index",
+    strategy: str = "bfs",
+    beam_width: Optional[int] = None,
 ) -> bool:
     """True iff some feasible wave is anomalous (stall or deadlock)."""
-    return explore(graph, state_limit, backend=backend).has_anomaly
+    return explore(
+        graph, state_limit, backend=backend,
+        strategy=strategy, beam_width=beam_width,
+    ).has_anomaly

@@ -1,0 +1,477 @@
+"""Admissible future-cost guidance for exact witness search.
+
+Blind BFS over the wave space (:mod:`repro.waves.engine`) spends its
+state budget uniformly in every direction, even though the refined
+static analysis has already named *which* rendezvous nodes could head a
+deadlock cycle.  This module precomputes the wave-space analogue of a
+decoder's future-cost table ``FCT[i, j]``: for every task position, the
+shortest control distance (in rendezvous steps the task itself must
+take) to each candidate anomaly head flagged by the refined analysis.
+A\\*/beam kernels then order expansion by ``g + h`` so the search walks
+toward the flagged heads first.
+
+Admissibility argument (the heuristic never overestimates)
+----------------------------------------------------------
+
+Let ``W`` be any reachable deadlock wave and ``D`` its deadlock set.
+The refined algorithm is conservative: if no head hypothesis produced
+evidence, no deadlock wave is reachable at all; otherwise every member
+``h`` of ``D`` that yields evidence has a component ``C(h) ⊇ D``
+(constraint-1 cycles survive their own head's pruning).  Fix one such
+``h`` — then in ``W``:
+
+* the task of ``h`` is positioned exactly *at* ``h`` (deadlock-set
+  members are wave entries), and
+* at least one *other* task is positioned at a node of ``C(h)``
+  belonging to its own task (``|D| >= 2`` and ``D ⊆ C(h)``).
+
+A task whose current position is ``p`` needs at least ``dist(p, v)``
+control steps to stand at ``v`` (every control step of a task fires one
+rendezvous the task participates in), so any schedule from the current
+wave to ``W`` fires at least
+
+    ``bound(h) = max(dist(pos_head, h), min_t dist(pos_t, C(h) ∩ t))``
+
+rendezvous.  The heuristic takes the **minimum of bound(h) over every
+evidence group** — a lower bound on the distance to the *nearest*
+deadlock wave.
+
+The second ingredient charges for *quiescence*.  In any anomalous wave
+— deadlock or stall — **every** task's entry is non-ready.  A task can
+only be non-ready at ``e`` or at a rendezvous that can actually block.
+The table statically certifies some rendezvous as *always-ready* by a
+lockstep-prefix argument: if tasks ``t`` and ``u`` both have
+straight-line bodies whose leading rendezvous partner each other
+exclusively, one-to-one and in matching order, then whenever ``t``
+stands at the ``i``-th prefix node, ``u`` provably stands at its
+``i``-th — the pair is ready, so those nodes can never be the entry of
+an anomalous wave.  Let ``q_t(p)`` be the control distance from ``p``
+to the nearest *non-certified* position of ``t`` (including ``e``).
+One rendezvous advances exactly two tasks one control step each, so
+any schedule to any anomalous wave fires at least
+
+    ``Q = max(max_t q_t, ceil((sum_t q_t) / 2))``
+
+rendezvous.  The deadlock estimate is ``max(min_h bound(h), Q)`` and
+the stall/any estimate is ``Q`` alone; the max of admissible lower
+bounds is admissible.  Every ingredient is also *consistent*: one unit
+of path cost moves two tasks one control step, dropping each per-task
+distance by at most 1, hence each ``bound(h)``, ``max_t q_t`` and
+``ceil(sum/2)`` by at most 1.  A\\* with a consistent heuristic pops
+every state with its optimal ``g``, so the first matching anomalous
+wave popped yields a *shortest* witness, exactly like BFS.
+
+States from which no evidence group is reachable get a large **finite**
+cost (:data:`SATURATED`): they are explored last but never pruned, so a
+complete guided run still enumerates the same reachable wave set as
+BFS and the verdict can never change — guidance only reorders which
+states are expanded first.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..syncgraph.model import SyncGraph, SyncNode
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (engine -> guide)
+    from ..analysis.results import DeadlockReport
+    from .engine import WaveIndex
+
+__all__ = [
+    "DEFAULT_BEAM_WIDTH",
+    "SATURATED",
+    "STRATEGIES",
+    "FutureCostTable",
+    "build_guide",
+    "guide_for",
+    "validate_strategy",
+]
+
+# Search-order selector shared by explore/exact_deadlock/exact_anomaly/
+# find_anomaly_witness/confirm/analyze/CLI: "bfs" is the blind
+# breadth-first baseline, "astar" best-first on g + FCT, "beam" layered
+# best-first with a bounded frontier.
+STRATEGIES = ("bfs", "astar", "beam")
+
+DEFAULT_BEAM_WIDTH = 1024
+
+# Per-task distance for "this task can never reach a flagged head from
+# here", and the heuristic value when that holds for every evidence
+# group.  Large enough to sort dead-end states behind every live one,
+# finite so they are still expanded (never pruned): completeness — and
+# therefore verdict parity with BFS — does not depend on the refined
+# evidence being exhaustive.
+SATURATED = 1 << 30
+
+# One evidence group, precompiled against a WaveIndex:
+# (head_shift, head_mask, head_dists, ((shift, mask, dists), ...))
+# where dists are per-local-position distance tuples.
+_Group = Tuple[int, int, Tuple[int, ...], Tuple[Tuple[int, int, Tuple[int, ...]], ...]]
+
+
+def validate_strategy(
+    strategy: str,
+    beam_width: Optional[int],
+    backend: str = "index",
+) -> int:
+    """Validate the (strategy, beam_width, backend) combination.
+
+    Returns the effective beam width (:data:`DEFAULT_BEAM_WIDTH` when
+    unset).  Raises ``ValueError`` on an unknown strategy, a
+    ``beam_width`` without ``strategy="beam"``, a non-positive width,
+    or a guided strategy on the reference backend (the guided kernels
+    live in the packed-int engine only).
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose one of {STRATEGIES}"
+        )
+    if beam_width is not None:
+        if strategy != "beam":
+            raise ValueError(
+                f"beam_width only applies to strategy='beam' "
+                f"(got strategy={strategy!r})"
+            )
+        if beam_width < 1:
+            raise ValueError(
+                f"beam_width must be a positive integer (got {beam_width})"
+            )
+    if strategy != "bfs" and backend != "index":
+        raise ValueError(
+            f"strategy {strategy!r} requires backend='index'; the "
+            "reference oracle only runs blind BFS"
+        )
+    return beam_width if beam_width is not None else DEFAULT_BEAM_WIDTH
+
+
+def _task_distances(
+    graph: SyncGraph,
+    task: str,
+    positions: Sequence[SyncNode],
+    targets: Sequence[SyncNode],
+) -> Tuple[int, ...]:
+    """Shortest control distance from each of ``task``'s wave positions
+    to the nearest node of ``targets`` (``SATURATED`` when unreachable).
+
+    Distances count control edges, i.e. rendezvous the task itself must
+    fire to stand at the target; reverse BFS from the target set.
+    """
+    local = {node: idx for idx, node in enumerate(positions)}
+    preds: List[List[int]] = [[] for _ in positions]
+    for node, idx in local.items():
+        if not node.is_rendezvous:
+            continue
+        for succ in graph.control_successors(node):
+            j = local.get(succ)
+            if j is not None:
+                preds[j].append(idx)
+    dist = [SATURATED] * len(positions)
+    queue: deque = deque()
+    for target in targets:
+        idx = local.get(target)
+        if idx is not None and dist[idx] != 0:
+            dist[idx] = 0
+            queue.append(idx)
+    while queue:
+        cur = queue.popleft()
+        d = dist[cur] + 1
+        for prev in preds[cur]:
+            if d < dist[prev]:
+                dist[prev] = d
+                queue.append(prev)
+    return tuple(dist)
+
+
+class FutureCostTable:
+    """Precomputed admissible future costs over one :class:`WaveIndex`.
+
+    Built from the candidate anomaly heads of a
+    :class:`~repro.analysis.results.DeadlockReport` (normally the
+    refined analysis of the engine's own graph — see
+    :func:`build_guide`).  ``estimate(key)`` lower-bounds the number of
+    rendezvous any schedule needs before the packed wave ``key`` can
+    reach a deadlock wave; see the module docstring for the argument.
+    """
+
+    def __init__(
+        self,
+        engine: "WaveIndex",
+        report: Optional["DeadlockReport"] = None,
+    ) -> None:
+        self.engine = engine
+        graph = engine.graph
+        if report is None:
+            report = _refined_report(graph)
+        self.report = report
+
+        # Per-task position universes, read straight off the engine's
+        # slot tables so local ids line up with its shift/mask fields
+        # by construction.
+        self._task_positions = [
+            engine.node_of_slot[
+                engine.slot_base[i]:
+                engine.slot_base[i + 1]
+                if i + 1 < engine.task_count
+                else engine.slot_count
+            ]
+            for i in range(engine.task_count)
+        ]
+        self._task_idx = {t: i for i, t in enumerate(graph.tasks)}
+
+        groups: List[_Group] = []
+        seen: set = set()
+        for ev in report.evidence:
+            members = tuple(
+                sorted(
+                    (n for n in ev.component if n.is_rendezvous),
+                    key=lambda n: n.uid,
+                )
+            )
+            head = ev.head
+            sig = (head.uid if head is not None else None, members)
+            if sig in seen or not members:
+                continue
+            seen.add(sig)
+            by_task: Dict[str, List[SyncNode]] = {}
+            for node in members:
+                by_task.setdefault(node.task, []).append(node)
+            if len(by_task) < 2:
+                continue  # a one-task component cannot deadlock a wave
+            if head is None:
+                # Headless evidence (e.g. the naive detector): the cycle
+                # could be headed by any involved task, so emit one
+                # group per task acting as head-at-any-of-its-targets —
+                # the resulting min over groups is the second-smallest
+                # per-task distance, which is the admissible bound for
+                # "some >=2 tasks of the component stand at targets".
+                for head_task, head_nodes in by_task.items():
+                    groups.append(
+                        self._compile_group(head_task, head_nodes, by_task)
+                    )
+            else:
+                groups.append(
+                    self._compile_group(head.task, [head], by_task)
+                )
+        self._groups: Tuple[_Group, ...] = tuple(groups)
+
+        # Quiescence distances: per task, the control distance to the
+        # nearest position that is not certified always-ready (the
+        # positions an anomalous wave could actually hold the task at).
+        safe = _always_ready_nodes(graph)
+        quiet = []
+        for i, task in enumerate(graph.tasks):
+            positions = self._task_positions[i]
+            targets = [
+                n for n in positions
+                if not (n.is_rendezvous and n in safe)
+            ]
+            quiet.append(
+                (
+                    engine.shift[i],
+                    engine.mask[i],
+                    _task_distances(graph, task, positions, targets),
+                )
+            )
+        self._quiet = tuple(quiet)
+
+        if obs.is_enabled():
+            obs.counter("guide.fct_builds").inc()
+            obs.gauge("guide.groups").set(len(self._groups))
+
+    def _compile_group(
+        self,
+        head_task: str,
+        head_nodes: Sequence[SyncNode],
+        by_task: Dict[str, List[SyncNode]],
+    ) -> _Group:
+        engine = self.engine
+        graph = engine.graph
+        hi = self._task_idx[head_task]
+        head_dists = _task_distances(
+            graph, head_task, self._task_positions[hi], head_nodes
+        )
+        others = []
+        for task, nodes in sorted(by_task.items()):
+            if task == head_task:
+                continue
+            ti = self._task_idx[task]
+            others.append(
+                (
+                    engine.shift[ti],
+                    engine.mask[ti],
+                    _task_distances(
+                        graph, task, self._task_positions[ti], nodes
+                    ),
+                )
+            )
+        return (engine.shift[hi], engine.mask[hi], head_dists, tuple(others))
+
+    @property
+    def group_count(self) -> int:
+        return len(self._groups)
+
+    def _group_bound(self, key: int) -> int:
+        """min over evidence groups of max(head distance, nearest
+        other-member distance) — the cycle-formation term."""
+        best = SATURATED
+        for head_shift, head_mask, head_dists, others in self._groups:
+            d_head = head_dists[(key >> head_shift) & head_mask]
+            if d_head >= best:
+                continue
+            d_other = SATURATED
+            for shift, mask, dists in others:
+                d = dists[(key >> shift) & mask]
+                if d < d_other:
+                    d_other = d
+                    if d == 0:
+                        break
+            bound = d_head if d_head > d_other else d_other
+            if bound < best:
+                best = bound
+                if best == 0:
+                    return 0
+        return best
+
+    def _quiescence(self, key: int) -> int:
+        """max(max_t q_t, ceil(sum_t q_t / 2)) — every task must reach
+        a position where it can actually be non-ready."""
+        total = 0
+        mx = 0
+        for shift, mask, dists in self._quiet:
+            d = dists[(key >> shift) & mask]
+            if d >= SATURATED:
+                return SATURATED
+            total += d
+            if d > mx:
+                mx = d
+        half = (total + 1) >> 1
+        return mx if mx > half else half
+
+    def estimate(self, key: int) -> int:
+        """Admissible lower bound on rendezvous left before ``key`` can
+        reach any deadlock wave (:data:`SATURATED` when provably — per
+        the evidence coverage — none is reachable from here)."""
+        q = self._quiescence(key)
+        g = self._group_bound(key)
+        return g if g > q else q
+
+    def estimate_anomaly(self, key: int) -> int:
+        """Admissible lower bound on rendezvous left before ``key`` can
+        reach *any* anomalous wave (stall or deadlock): the quiescence
+        term alone — stalls are not covered by deadlock evidence."""
+        return self._quiescence(key)
+
+
+def _straight_chain(graph: SyncGraph, task: str) -> List[SyncNode]:
+    """The task's leading straight-line rendezvous chain.
+
+    Nodes the task *must* traverse in order, each reachable only from
+    its predecessor: a unique initial option, then unique control
+    successors, with every chain node's control in-degree 1 (so the
+    position index always equals the number of rendezvous fired).
+    Stops at the first branch, join, loop, or non-rendezvous node.
+    """
+    options = graph.initial_options(task)
+    if len(options) != 1:
+        return []
+    chain: List[SyncNode] = []
+    seen: set = set()
+    node = options[0]
+    prev: Optional[SyncNode] = None
+    while node.is_rendezvous and node not in seen:
+        preds = [
+            p for p in graph.control_predecessors(node) if p.is_rendezvous
+        ]
+        if prev is None:
+            if preds:
+                break  # joinable entry: index no longer forced
+        elif set(preds) != {prev}:
+            break
+        seen.add(node)
+        chain.append(node)
+        succs = list(dict.fromkeys(graph.control_successors(node)))
+        if len(succs) != 1:
+            break
+        prev = node
+        node = succs[0]
+    return chain
+
+
+def _always_ready_nodes(graph: SyncGraph) -> set:
+    """Rendezvous certified never to block, by lockstep prefixes.
+
+    For a pair of tasks whose straight-line chains partner each other
+    exclusively, one-to-one and in matching order, position ``i`` of
+    one implies position ``i`` of the other (each can only advance by
+    the shared rendezvous), so both stand ready — those nodes can never
+    be the entry of an anomalous wave.  See the module docstring for
+    the induction.
+    """
+    chains = {task: _straight_chain(graph, task) for task in graph.tasks}
+    safe: set = set()
+    done: set = set()
+    for task, chain in chains.items():
+        if not chain:
+            continue
+        partners = graph.sync_neighbors(chain[0])
+        if len(set(partners)) != 1:
+            continue
+        other = partners[0].task
+        pair = tuple(sorted((task, other)))
+        if other == task or pair in done:
+            continue
+        done.add(pair)
+        for r, s in zip(chain, chains.get(other, [])):
+            if (
+                set(graph.sync_neighbors(r)) == {s}
+                and set(graph.sync_neighbors(s)) == {r}
+            ):
+                safe.add(r)
+                safe.add(s)
+            else:
+                break
+    return safe
+
+
+def _refined_report(graph: SyncGraph) -> "DeadlockReport":
+    """The refined analysis of ``graph`` — the default head source.
+
+    Imported lazily: :mod:`repro.analysis` itself imports the wave
+    layer for confirmation, so a module-level import would cycle.
+    """
+    from ..analysis.refined import refined_deadlock_analysis
+
+    return refined_deadlock_analysis(graph)
+
+
+def build_guide(
+    engine: "WaveIndex",
+    report: Optional["DeadlockReport"] = None,
+) -> FutureCostTable:
+    """The future-cost table guiding searches over ``engine``.
+
+    ``report`` optionally supplies the candidate anomaly heads; when
+    omitted the refined analysis runs on ``engine.graph`` itself.  Pass
+    a report only if it was computed over the *same* graph the engine
+    packs — evidence from a differently-unrolled graph names different
+    nodes and would misdirect (though never corrupt: the heuristic
+    affects expansion order only).
+    """
+    return FutureCostTable(engine, report)
+
+
+def guide_for(engine: "WaveIndex") -> FutureCostTable:
+    """The engine's cached guide, built on first use.
+
+    Long-lived engines (the server session keeps one per document, the
+    repair verifier one per candidate) pay the refined analysis and the
+    distance BFS once; every subsequent guided search reuses the table.
+    """
+    guide = getattr(engine, "_fct_cache", None)
+    if guide is None:
+        guide = FutureCostTable(engine)
+        engine._fct_cache = guide
+    return guide

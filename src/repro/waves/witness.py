@@ -29,9 +29,15 @@ from ..errors import ExplorationLimitError
 from ..syncgraph.model import SyncGraph, SyncNode
 from .anomaly import WaveClassification, classify_wave, is_anomalous
 from .engine import BACKENDS, WaveIndex
+from .guide import guide_for, validate_strategy
 from .wave import Wave, iter_initial_waves, next_waves_with_events
 
-__all__ = ["AnomalyWitness", "find_anomaly_witness"]
+__all__ = [
+    "AnomalyWitness",
+    "WitnessSearchOutcome",
+    "find_anomaly_witness",
+    "search_anomaly_witness",
+]
 
 Rendezvous = Tuple[SyncNode, SyncNode]
 
@@ -75,12 +81,38 @@ class AnomalyWitness:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class WitnessSearchOutcome:
+    """One witness search, with its search-effort accounting.
+
+    ``states`` counts distinct waves discovered before the search
+    stopped — the quantity the state budget gates, and the honest
+    guided-vs-BFS comparison metric.  ``limited`` means the budget ran
+    out (or, for beam, states were dropped to the width — ``truncated``
+    names that cause); a witnessless limited search proves nothing,
+    while ``witness is None`` with ``limited=False`` is a refutation of
+    the requested anomaly over the whole reachable space.
+    """
+
+    witness: Optional[AnomalyWitness]
+    states: int
+    limited: bool
+    truncated: bool
+    strategy: str
+
+    @property
+    def refuted(self) -> bool:
+        return self.witness is None and not self.limited
+
+
 def find_anomaly_witness(
     graph: SyncGraph,
     kind: str = "deadlock",
     state_limit: int = 200_000,
     backend: str = "index",
     engine: Optional[WaveIndex] = None,
+    strategy: str = "bfs",
+    beam_width: Optional[int] = None,
 ) -> Optional[AnomalyWitness]:
     """Shortest witness of an anomaly of the requested kind, or None.
 
@@ -90,14 +122,43 @@ def find_anomaly_witness(
     Raises :class:`ExplorationLimitError` only when the state budget is
     exhausted *and* no matching anomaly was discovered first — a
     witness found within budget is returned even if the search could
-    not finish.
+    not finish.  The contract is strategy-independent: ``"astar"``
+    witnesses are shortest like BFS ones (the future-cost table is
+    admissible and consistent), ``"beam"`` witnesses are valid but a
+    truncated beam forfeits shortest-ness and counts as limited.
     """
+    outcome = search_anomaly_witness(
+        graph, kind=kind, state_limit=state_limit, backend=backend,
+        engine=engine, strategy=strategy, beam_width=beam_width,
+    )
+    if outcome.witness is not None:
+        return outcome.witness
+    if outcome.limited:
+        raise ExplorationLimitError(state_limit)
+    return None
+
+
+def search_anomaly_witness(
+    graph: SyncGraph,
+    kind: str = "deadlock",
+    state_limit: int = 200_000,
+    backend: str = "index",
+    engine: Optional[WaveIndex] = None,
+    strategy: str = "bfs",
+    beam_width: Optional[int] = None,
+) -> WitnessSearchOutcome:
+    """Like :func:`find_anomaly_witness` but never raises on a limited
+    witnessless search: the :class:`WitnessSearchOutcome` carries the
+    partial-result facts (states discovered, limited/truncated flags)
+    for callers that must grade CONFIRMED/REFUTED/INCONCLUSIVE
+    themselves."""
     if kind not in ("deadlock", "stall", "any"):
         raise ValueError(f"unknown anomaly kind {kind!r}")
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; choose one of {BACKENDS}"
         )
+    effective_width = validate_strategy(strategy, beam_width, backend)
 
     def matches(classification: WaveClassification) -> bool:
         if kind == "deadlock":
@@ -108,14 +169,36 @@ def find_anomaly_witness(
 
     with obs.span(
         "witness.search", kind=kind, state_limit=state_limit,
-        backend=backend,
+        backend=backend, strategy=strategy,
     ) as sp:
+        truncated = False
         if backend == "index":
             if engine is None:
                 engine = WaveIndex(graph)
-            data, states, limited = engine.find_witness(
-                matches, state_limit
-            )
+            if strategy == "bfs":
+                data, states, limited = engine.find_witness(
+                    matches, state_limit
+                )
+            else:
+                # The deadlock estimate adds the evidence-group term;
+                # stall/any goals use the quiescence term alone (both
+                # admissible for their goal set — see waves.guide).
+                guide = guide_for(engine)
+                if kind == "deadlock":
+                    estimate = guide.estimate
+                else:
+                    estimate = guide.estimate_anomaly
+                if strategy == "astar":
+                    data, states, limited = engine.find_witness_astar(
+                        matches, state_limit, estimate
+                    )
+                else:
+                    data, states, limited, truncated = (
+                        engine.find_witness_beam(
+                            matches, state_limit, estimate, effective_width
+                        )
+                    )
+                    limited = limited or truncated
         else:
             data, states, limited = _find_witness_reference(
                 graph, matches, state_limit
@@ -126,17 +209,22 @@ def find_anomaly_witness(
             obs.counter("witness.state_limit_hits").inc()
             if data is not None:
                 obs.counter("witness.found_past_limit").inc()
+    witness = None
     if data is not None:
         initial, schedule, waves, classification = data
-        return AnomalyWitness(
+        witness = AnomalyWitness(
             initial=initial,
             schedule=schedule,
             waves=waves,
             classification=classification,
         )
-    if limited:
-        raise ExplorationLimitError(state_limit)
-    return None
+    return WitnessSearchOutcome(
+        witness=witness,
+        states=states,
+        limited=limited,
+        truncated=truncated,
+        strategy=strategy,
+    )
 
 
 def _find_witness_reference(

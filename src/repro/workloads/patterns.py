@@ -16,6 +16,7 @@ from ..lang.ast_nodes import Accept, Program, Send, Statement, TaskDecl
 
 __all__ = [
     "barrier",
+    "corridor",
     "dining_philosophers",
     "gossip_ring",
     "pipeline",
@@ -164,6 +165,52 @@ def master_workers(workers: int = 3, jobs_each: int = 1) -> Program:
         tasks.append(TaskDecl(name=f"worker{w}", body=tuple(worker_body)))
     tasks.append(TaskDecl(name="master", body=tuple(master_body)))
     return Program(name=f"master_workers_{workers}", tasks=tuple(tasks))
+
+
+def corridor(depth: int = 4, chatter: int = 2) -> Program:
+    """A deep deadlock corridor buried in chatter interleavings.
+
+    Tasks ``a`` and ``b`` handshake ``depth`` times and then deadlock
+    on crossed sends, while ``chatter`` independent producer/consumer
+    pairs each exchange ``depth`` messages.  The chatter multiplies the
+    wave space (roughly ``depth ** chatter`` interleavings) without
+    touching the anomaly, so blind BFS drowns in breadth while a
+    search guided toward the flagged heads walks the corridor first —
+    the flagship family for the guided-vs-BFS benchmarks.
+    """
+    if depth < 1:
+        raise ValueError("need at least 1 corridor step")
+    a_body: List[Statement] = [
+        Send(task="b", message=f"hs{i}") for i in range(depth)
+    ]
+    a_body += [Send(task="b", message="x"), Accept(message="y")]
+    b_body: List[Statement] = [
+        Accept(message=f"hs{i}") for i in range(depth)
+    ]
+    b_body += [Send(task="a", message="y"), Accept(message="x")]
+    tasks: List[TaskDecl] = [
+        TaskDecl(name="a", body=tuple(a_body)),
+        TaskDecl(name="b", body=tuple(b_body)),
+    ]
+    for c in range(chatter):
+        tasks.append(
+            TaskDecl(
+                name=f"ping{c}",
+                body=tuple(
+                    Send(task=f"pong{c}", message=f"m{i}")
+                    for i in range(depth)
+                ),
+            )
+        )
+        tasks.append(
+            TaskDecl(
+                name=f"pong{c}",
+                body=tuple(
+                    Accept(message=f"m{i}") for i in range(depth)
+                ),
+            )
+        )
+    return Program(name=f"corridor_{depth}x{chatter}", tasks=tuple(tasks))
 
 
 def crossed_pair() -> Program:

@@ -132,11 +132,17 @@ class TestVerifier:
             + stats["certified_exact"]
             + stats["rejected_failed"]
             + stats["rejected_still_convicted"]
+            + stats["rejected_confirmed_deadlock"]
             == report.candidates_generated
         )
         assert len(report.fixes) == (
             stats["certified_static"] + stats["certified_exact"]
         )
+        # The crossed pair is tiny: every convicted candidate's exact
+        # escalation finishes, so each rejection carries a concrete
+        # deadlock wave rather than an unsettled conviction.
+        assert stats["rejected_still_convicted"] == 0
+        assert stats["rejected_confirmed_deadlock"] > 0
 
     def test_exact_escalation_rescues_refined_false_alarms(self):
         # Reordered dining philosophers stay convicted by the static
@@ -154,6 +160,44 @@ class TestVerifier:
         )
         assert not report.fixed
         assert report.stats["certified_exact"] == 0
+
+    def test_repair_corpus_escalations_all_settle(self):
+        # The adl_repair programs are small enough that every exact
+        # escalation finishes within the default budget: no rejection
+        # is left unsettled, and a guided strategy — which can only
+        # change what a *limited* budget buys — lands on identical
+        # stats.
+        for name in ("crossed_greeting", "late_ack"):
+            source = repair_corpus()[name].source
+            bfs = suggest_repairs(source).stats
+            astar = suggest_repairs(source, strategy="astar").stats
+            assert bfs["rejected_still_convicted"] == 0, name
+            assert astar == bfs, name
+
+    def test_guided_escalation_settles_where_bfs_cannot(self):
+        # On a corridor-sized candidate space a 200-state budget
+        # drowns blind BFS (every still-convicted candidate stays
+        # unsettled), while A* walks to a concrete deadlock wave and
+        # rejects with proof — same budget, same candidates.
+        from repro.lang.pretty import pretty
+        from repro.workloads.patterns import corridor
+
+        source = pretty(corridor(6, 4))
+        bfs = suggest_repairs(source, exact_budget=200).stats
+        astar = suggest_repairs(
+            source, exact_budget=200, strategy="astar"
+        ).stats
+        assert bfs["rejected_confirmed_deadlock"] == 0
+        assert bfs["rejected_still_convicted"] > 0
+        assert astar["rejected_confirmed_deadlock"] > 0
+        assert (
+            astar["rejected_still_convicted"]
+            < bfs["rejected_still_convicted"]
+        )
+        # Certifications are budget-independent facts; the strategies
+        # must agree on them.
+        assert astar["certified_static"] == bfs["certified_static"]
+        assert astar["certified_exact"] == bfs["certified_exact"]
 
 
 class TestRanking:
