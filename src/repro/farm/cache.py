@@ -29,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, OrderedDict as OrderedDictT, Union
@@ -165,6 +166,15 @@ class LruFront:
     shares one LRU implementation with uniform size/hit/miss
     introspection (:meth:`snapshot`), instead of each growing a private
     ``OrderedDict`` with ad-hoc counters.
+
+    Thread-safe: the daemon's worker pool shares one front across
+    workers, and both the ``OrderedDict`` reordering in :meth:`get` and
+    the bare counter increments are read-modify-write sequences that
+    corrupt under interleaving (``move_to_end`` on a key another thread
+    just evicted raises ``KeyError``; racing ``hits += 1`` loses
+    counts).  Every public operation holds one internal lock; the
+    critical sections are dict probes, so contention is negligible next
+    to the analyses the front memoises.
     """
 
     def __init__(self, max_entries: int = 256) -> None:
@@ -175,50 +185,58 @@ class LruFront:
         self.misses = 0
         self.evictions = 0
         self._entries: OrderedDictT[str, object] = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key: str, default=None):
         """The value for ``key`` (refreshing recency), else ``default``."""
-        if key not in self._entries:
-            self.misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return self._entries[key]
+        with self._lock:
+            if key not in self._entries:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
 
     def put(self, key: str, value) -> int:
         """Store ``key`` and return how many entries were evicted."""
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        evicted = 0
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            evicted += 1
-        self.evictions += evicted
-        return evicted
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            evicted = 0
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
+            return evicted
 
     def items(self):
         """Current ``(key, value)`` pairs, least recently used first."""
-        return list(self._entries.items())
+        with self._lock:
+            return list(self._entries.items())
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
         # Pure membership probe: no recency refresh, no counter churn.
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def snapshot(self) -> dict:
         """Introspection payload for status endpoints / obs gauges."""
-        return {
-            "entries": len(self._entries),
-            "max_entries": self.max_entries,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 class ResultCache:
@@ -230,6 +248,12 @@ class ResultCache:
     so a killed run never leaves a half-written entry that a later run
     would trip over — and if anything else corrupts an entry, loading it
     counts as a miss and deletes the file.
+
+    Safe to share across threads: the front is an internally locked
+    :class:`LruFront`, the stats counters are guarded here, temp-file
+    names include the thread id, and the content-addressed entries
+    themselves are immutable (racing writers of one key store identical
+    bytes).
     """
 
     def __init__(
@@ -241,6 +265,8 @@ class ResultCache:
         self.memory_entries = memory_entries
         self.stats = CacheStats()
         self.front = LruFront(max_entries=memory_entries)
+        # Guards the bare CacheStats counters; the front locks itself.
+        self._stats_lock = threading.Lock()
 
     # -- paths -----------------------------------------------------------
 
@@ -254,14 +280,17 @@ class ResultCache:
         """The cached result for ``key``, or None (miss)."""
         cached = self.front.get(key, _MISS)
         if cached is not _MISS:
-            self.stats.hits += 1
+            with self._stats_lock:
+                self.stats.hits += 1
             return cached
         result = self._load_disk(key)
         if result is None:
-            self.stats.misses += 1
+            with self._stats_lock:
+                self.stats.misses += 1
             return None
         self._remember(key, result)
-        self.stats.hits += 1
+        with self._stats_lock:
+            self.stats.hits += 1
         return result
 
     def put(self, key: str, result: "AnalysisResult") -> None:
@@ -271,14 +300,20 @@ class ResultCache:
         envelope = {"format": CACHE_FORMAT, "key": key, "result": result}
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            # pid + thread id: concurrent daemon workers storing the
+            # same key must not collide on the temp file either.
+            tmp = path.with_suffix(
+                f".tmp.{os.getpid()}.{threading.get_ident()}"
+            )
             with open(tmp, "wb") as fh:
                 pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
-            self.stats.stores += 1
+            with self._stats_lock:
+                self.stats.stores += 1
         except OSError:
             # A read-only or full cache dir degrades to memory-only.
-            self.stats.errors += 1
+            with self._stats_lock:
+                self.stats.errors += 1
 
     def contains(self, key: str) -> bool:
         """Whether ``key`` is resident (front or disk), without loading.
@@ -316,7 +351,9 @@ class ResultCache:
     # -- internals -------------------------------------------------------
 
     def _remember(self, key: str, result: "AnalysisResult") -> None:
-        self.stats.evictions += self.front.put(key, result)
+        evicted = self.front.put(key, result)
+        with self._stats_lock:
+            self.stats.evictions += evicted
 
     def _load_disk(self, key: str) -> Optional["AnalysisResult"]:
         path = self._entry_path(key)
@@ -335,7 +372,8 @@ class ResultCache:
         except Exception:
             # Corrupted, truncated, or foreign entry: a miss, not a
             # crash.  Delete it so the slot heals on the next store.
-            self.stats.errors += 1
+            with self._stats_lock:
+                self.stats.errors += 1
             try:
                 path.unlink()
             except OSError:

@@ -11,12 +11,23 @@ Naming convention (see docs/OBSERVABILITY.md): dotted lowercase names,
 ``<layer>.<quantity>`` — e.g. ``refined.scc_passes``,
 ``explore.states_visited`` — with label keys for per-rule or per-phase
 breakdowns rather than name suffixes.
+
+Instruments and the registry are **thread-safe**: the daemon's worker
+pool mutates shared counters from several threads, and an unguarded
+``self.value += amount`` is a read-modify-write that loses updates
+under contention.  Every instrument guards its mutation with a small
+per-instrument lock, and the registry guards instrument creation so
+two threads asking for the same ``(name, labels)`` always get the same
+object.  The single-threaded cost is one uncontended lock acquire per
+write — and the hottest loops (wave exploration, the concrete
+scheduler) already accumulate locally and record once per run.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 __all__ = [
     "Counter",
@@ -45,8 +56,12 @@ class Counter:
     labels: LabelsKey = ()
     value: int = 0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 @dataclass
@@ -57,8 +72,12 @@ class Gauge:
     labels: LabelsKey = ()
     value: float = 0.0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
 
 @dataclass
@@ -77,13 +96,17 @@ class Histogram:
     min: Optional[float] = None
     max: Optional[float] = None
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.sum += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -120,35 +143,51 @@ class MetricsRegistry:
         default_factory=dict
     )
 
+    def __post_init__(self) -> None:
+        # Guards instrument *creation*: two threads racing on the same
+        # (name, labels) must get the same object, or one side's writes
+        # land on an instrument the registry never exports.
+        self._lock = threading.Lock()
+
     def counter(self, name: str, **labels: str) -> Counter:
         key = (name, labels_key(labels))
-        found = self.counters.get(key)
-        if found is None:
-            found = self.counters[key] = Counter(name, key[1])
+        with self._lock:
+            found = self.counters.get(key)
+            if found is None:
+                found = self.counters[key] = Counter(name, key[1])
         return found
 
     def gauge(self, name: str, **labels: str) -> Gauge:
         key = (name, labels_key(labels))
-        found = self.gauges.get(key)
-        if found is None:
-            found = self.gauges[key] = Gauge(name, key[1])
+        with self._lock:
+            found = self.gauges.get(key)
+            if found is None:
+                found = self.gauges[key] = Gauge(name, key[1])
         return found
 
     def histogram(self, name: str, **labels: str) -> Histogram:
         key = (name, labels_key(labels))
-        found = self.histograms.get(key)
-        if found is None:
-            found = self.histograms[key] = Histogram(name, key[1])
+        with self._lock:
+            found = self.histograms.get(key)
+            if found is None:
+                found = self.histograms[key] = Histogram(name, key[1])
         return found
 
     def iter_instruments(
         self,
-    ) -> Iterator[Counter | Gauge | Histogram]:
-        yield from self.counters.values()
-        yield from self.gauges.values()
-        yield from self.histograms.values()
+    ) -> Iterator[Union[Counter, Gauge, Histogram]]:
+        # Snapshot the value views under the lock so exporters never
+        # iterate a dict another thread is growing.
+        with self._lock:
+            instruments: List[Union[Counter, Gauge, Histogram]] = [
+                *self.counters.values(),
+                *self.gauges.values(),
+                *self.histograms.values(),
+            ]
+        yield from instruments
 
     def counter_value(self, name: str, **labels: str) -> int:
         """Read a counter without creating it (0 when absent)."""
-        found = self.counters.get((name, labels_key(labels)))
+        with self._lock:
+            found = self.counters.get((name, labels_key(labels)))
         return found.value if found is not None else 0

@@ -33,16 +33,20 @@ with ``server.invalidations.partial`` / ``server.invalidations.full``
 obs counters proving the reuse.
 
 Start it with ``repro serve`` (or ``python -m repro.server``); requests
-are processed by a single analysis worker behind a bounded queue, with
-per-request timeouts for exact-exploration requests dispatched through
-the farm pool, and graceful SIGTERM/SIGINT shutdown that drains the
-queue and flushes the cache.
+are processed by a bounded worker pool (``--workers``, default 1) fed
+by a fair two-level scheduler — interactive requests dispatch ahead of
+``batch`` sweeps, clients round-robin within a level — with per-client
+document namespaces, ``cancel`` support for queued and in-flight
+requests, per-request wall-clock timeouts dispatched through the farm
+pool, and graceful SIGTERM/SIGINT shutdown (stdio *and* HTTP) that
+drains the queue and flushes the cache.
 """
 
 from __future__ import annotations
 
 from .daemon import AnalysisServer, serve_stdio
 from .httpd import serve_http
+from .scheduler import FairScheduler, ScheduledRequest
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -57,9 +61,11 @@ from .session import Document, Session
 __all__ = [
     "AnalysisServer",
     "Document",
+    "FairScheduler",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "RequestTimeout",
+    "ScheduledRequest",
     "Session",
     "decode_request",
     "dumps",

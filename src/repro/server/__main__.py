@@ -12,7 +12,8 @@ from typing import List, Optional
 
 from .. import obs
 from ..farm.cache import ResultCache
-from .daemon import DEFAULT_QUEUE_SIZE, AnalysisServer
+from ..farm.pool import SharedProcessPool
+from .daemon import DEFAULT_QUEUE_SIZE, DEFAULT_WORKERS, AnalysisServer
 from .httpd import parse_hostport, serve_http
 from .session import Session
 
@@ -67,6 +68,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=DEFAULT_WORKERS,
+        metavar="N",
+        help=(
+            "worker threads serving requests concurrently; >1 also "
+            "enables the shared process pool for cold analyses "
+            f"(default: {DEFAULT_WORKERS} — strict arrival order)"
+        ),
+    )
+    parser.add_argument(
         "--metrics",
         action="store_true",
         help=(
@@ -90,14 +102,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         store = ResultCache(cache_dir=args.cache_dir)
     else:
         store = ResultCache()
-    session = Session(store=store, lru_entries=args.lru_entries)
-    server = AnalysisServer(session=session, queue_size=args.queue_size)
+    if args.workers < 1:
+        print("repro serve: --workers must be >= 1", file=sys.stderr)
+        return 2
+    compute = SharedProcessPool(jobs=args.workers) if args.workers > 1 else None
+    session = Session(
+        store=store, lru_entries=args.lru_entries, compute=compute
+    )
+    server = AnalysisServer(
+        session=session, queue_size=args.queue_size, workers=args.workers
+    )
     if args.metrics:
         obs.enable()
     if args.verbose:
         where = args.http if args.http else "stdio"
         print(
             f"repro server: protocol 1, {where}, "
+            f"workers={args.workers}, "
             f"store={'off' if store is None else store.cache_dir}",
             file=sys.stderr,
         )

@@ -1,43 +1,63 @@
-"""The daemon proper: request loop, worker thread, graceful shutdown.
+"""The daemon proper: request loop, worker pool, graceful shutdown.
 
 Structure::
 
-    stdin ──reader (main thread)──▶ bounded queue ──worker thread──▶ stdout
+    stdin ──reader (main thread)──▶ FairScheduler ──worker threads──▶ stdout
+    HTTP connection threads ──────▶      │
+                                         └─▶ shared Session
 
-The reader decodes each line and enqueues it; a **single analysis
-worker** drains the queue, runs the handler against the shared
-:class:`~repro.server.session.Session`, and writes one response line
-per request.  One worker means analysis requests are processed strictly
-in arrival order and the session needs no locking; the bounded queue
-(:data:`DEFAULT_QUEUE_SIZE`) keeps a flood of requests from buffering
-unboundedly — overflow is rejected immediately with ``SERVER_BUSY``
-rather than silently queued.
+The reader (or an HTTP connection thread) decodes each request and
+submits it to the :class:`~repro.server.scheduler.FairScheduler`; a
+bounded pool of **worker threads** drains it, runs the handler against
+the shared :class:`~repro.server.session.Session`, and delivers one
+response per request through the entry's transport continuation.  The
+scheduler dispatches interactive requests ahead of ``batch`` sweeps and
+round-robins across clients, so no client or bulk job can starve the
+rest; within one client, requests stay FIFO.  The queue is bounded
+(:data:`DEFAULT_QUEUE_SIZE`) — overflow is rejected immediately with
+``SERVER_BUSY`` rather than silently buffered.
+
+The default is **one worker** (:data:`DEFAULT_WORKERS`), which keeps
+the original stdio contract: responses in strict per-client arrival
+order, no concurrent session access.  With ``workers > 1`` the session
+serves requests from several threads at once — per-document locks keep
+same-document requests serialized while different documents proceed in
+parallel, and cold analyses are offloaded to a shared process pool so
+concurrent clients use real cores instead of contending for the GIL.
+
+Cancellation (``cancel`` method, ``params.id`` = the target request's
+id, same client namespace): a still-queued request is removed and
+answered with code 1004 immediately; an in-flight request is marked —
+its worker discards the handler result and answers 1004 when it
+returns (caches stay warm; the work is not torn down mid-flight).
+``cancel`` itself is handled on the transport thread, never queued —
+it cannot wait behind the very request it is cancelling.
 
 Shutdown is graceful from all three triggers — a ``shutdown`` request,
-SIGTERM, or SIGINT: the reader stops accepting input, the worker drains
+SIGTERM, or SIGINT: transports stop accepting input, the workers drain
 every request already queued (each still gets its response), resident
 results are flushed to the disk store, and the process exits 0.
-Per-request wall-clock budgets apply to exact-exploration requests
-(``params.timeout``), which run in a farm worker process so an overrun
-can be terminated preemptively; a timed-out request answers with code
-1001 and the daemon keeps serving.
+Per-request wall-clock budgets (``params.timeout``) run in a farm
+worker process so an overrun is terminated preemptively; a timed-out
+request answers with code 1001 and the daemon keeps serving.
 """
 
 from __future__ import annotations
 
-import queue
 import signal
 import sys
 import threading
-from typing import Any, Dict, Optional, TextIO
+from typing import Any, Callable, Dict, List, Optional, TextIO, Tuple
 
 from .. import obs
 from ..errors import ReproError
+from ..farm.pool import SharedProcessPool
 from .protocol import (
     ANALYSIS_ERROR,
     INTERNAL_ERROR,
     INVALID_PARAMS,
     METHOD_NOT_FOUND,
+    REQUEST_CANCELLED,
     REQUEST_TIMEOUT,
     SERVER_BUSY,
     SHUTTING_DOWN,
@@ -49,18 +69,22 @@ from .protocol import (
     error_response,
     response,
 )
+from .scheduler import DEFAULT_CLIENT, FairScheduler, ScheduledRequest
 from .session import Session
 
-__all__ = ["AnalysisServer", "DEFAULT_QUEUE_SIZE", "serve_stdio"]
+__all__ = [
+    "AnalysisServer",
+    "DEFAULT_QUEUE_SIZE",
+    "DEFAULT_WORKERS",
+    "serve_stdio",
+]
 
 DEFAULT_QUEUE_SIZE = 64
-
-# Queue sentinel: no more requests will arrive, drain and stop.
-_EOF = object()
+DEFAULT_WORKERS = 1
 
 
 class _SignalStop(Exception):
-    """Raised in the reader loop by SIGTERM/SIGINT handlers."""
+    """Raised in the serving loop by SIGTERM/SIGINT handlers."""
 
     def __init__(self, signum: int) -> None:
         super().__init__(f"signal {signum}")
@@ -71,21 +95,40 @@ class AnalysisServer:
     """One daemon instance: a session plus the request machinery.
 
     Usable three ways: :meth:`serve` runs the full stdio loop;
-    :meth:`handle_line` / :meth:`handle_request` process a single
-    request synchronously (the HTTP front end and the protocol tests
-    drive these directly, no threads involved).
+    :meth:`submit` feeds the worker pool from any transport thread
+    (the HTTP front end); :meth:`handle_line` / :meth:`handle_request`
+    process a single request synchronously (the protocol tests and
+    golden transcripts drive these directly, no threads involved).
     """
 
     def __init__(
         self,
         session: Optional[Session] = None,
         queue_size: int = DEFAULT_QUEUE_SIZE,
+        workers: int = DEFAULT_WORKERS,
     ) -> None:
-        self.session = session if session is not None else Session()
-        self.queue: "queue.Queue" = queue.Queue(maxsize=queue_size)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        if session is None:
+            # Multi-worker daemons get a shared compute pool so cold
+            # analyses run on real cores; one worker keeps everything
+            # in-process, exactly like the original daemon.
+            compute = (
+                SharedProcessPool(jobs=workers) if workers > 1 else None
+            )
+            session = Session(compute=compute)
+        self.session = session
+        self.scheduler = FairScheduler(max_pending=queue_size)
         self.shutting_down = threading.Event()
         self.flushed: Optional[int] = None
         self._write_lock = threading.Lock()
+        # Guards the worker bookkeeping below, never held across work.
+        self._state_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._inflight: Dict[Tuple[str, Any], ScheduledRequest] = {}
+        self._busy = 0
         self._handlers = {
             "analyze": self._handle_analyze,
             "lint": self._handle_lint,
@@ -94,6 +137,7 @@ class AnalysisServer:
             "didOpen": self._handle_did_open,
             "didChange": self._handle_did_change,
             "didClose": self._handle_did_close,
+            "cancel": self._handle_cancel,
             "status": self._handle_status,
             "ping": self._handle_ping,
             "shutdown": self._handle_shutdown,
@@ -109,11 +153,18 @@ class AnalysisServer:
             return error_response(None, exc.code, str(exc))
         return self.handle_request(request)
 
-    def handle_request(self, request: Request) -> Dict[str, Any]:
-        """Serve one decoded request; exceptions become error responses."""
+    def handle_request(
+        self, request: Request, client: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Serve one decoded request; exceptions become error responses.
+
+        ``client`` is the transport-assigned namespace; a ``"client"``
+        field on the request itself wins over it.
+        """
         self.session._count("requests", "server.requests")
         if obs.is_enabled():
             obs.counter("server.requests.by_method", method=request.method).inc()
+        namespace = request.client or client or DEFAULT_CLIENT
         handler = self._handlers.get(request.method)
         if handler is None:
             return error_response(
@@ -123,7 +174,7 @@ class AnalysisServer:
                 + ", ".join(sorted(self._handlers)),
             )
         try:
-            return response(request.id, handler(request.params))
+            return response(request.id, handler(request.params, namespace))
         except RequestTimeout as exc:
             return error_response(request.id, REQUEST_TIMEOUT, str(exc))
         except ReproError as exc:
@@ -143,7 +194,9 @@ class AnalysisServer:
 
     # -- handlers --------------------------------------------------------
 
-    def _handle_analyze(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _handle_analyze(
+        self, params: Dict[str, Any], client: str
+    ) -> Dict[str, Any]:
         beam_width = params.get("beam_width")
         payload, cache = self.session.analyze_document(
             uri=params.get("uri"),
@@ -155,23 +208,29 @@ class AnalysisServer:
             timeout=params.get("timeout"),
             strategy=params.get("strategy", "bfs"),
             beam_width=int(beam_width) if beam_width is not None else None,
+            client=client,
         )
         return {"report": payload, "cache": cache}
 
-    def _handle_lint(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _handle_lint(
+        self, params: Dict[str, Any], client: str
+    ) -> Dict[str, Any]:
         payload, sarif_doc, cache = self.session.lint_document(
             uri=params.get("uri"),
             text=params.get("text"),
             disable=params.get("disable", ()),
             select=params.get("select"),
             sarif=bool(params.get("sarif", False)),
+            client=client,
         )
         result: Dict[str, Any] = {"report": payload, "cache": cache}
         if sarif_doc is not None:
             result["sarif"] = sarif_doc
         return result
 
-    def _handle_repair(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _handle_repair(
+        self, params: Dict[str, Any], client: str
+    ) -> Dict[str, Any]:
         beam_width = params.get("beam_width")
         payload, cache = self.session.repair_document(
             uri=params.get("uri"),
@@ -182,10 +241,13 @@ class AnalysisServer:
             max_fixes=int(params.get("max_fixes", 5)),
             strategy=params.get("strategy", "bfs"),
             beam_width=int(beam_width) if beam_width is not None else None,
+            client=client,
         )
         return {"report": payload, "cache": cache}
 
-    def _handle_batch(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _handle_batch(
+        self, params: Dict[str, Any], client: str
+    ) -> Dict[str, Any]:
         return {
             "report": self.session.run_batch(
                 items=params.get("items"),
@@ -199,35 +261,217 @@ class AnalysisServer:
             )
         }
 
-    def _handle_did_open(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _handle_did_open(
+        self, params: Dict[str, Any], client: str
+    ) -> Dict[str, Any]:
         uri = params["uri"]
         doc = self.session.open_document(
-            uri, params["text"], version=int(params.get("version", 1))
+            uri,
+            params["text"],
+            version=int(params.get("version", 1)),
+            client=client,
         )
         return {"uri": uri, "version": doc.version, "opened": True}
 
-    def _handle_did_change(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _handle_did_change(
+        self, params: Dict[str, Any], client: str
+    ) -> Dict[str, Any]:
         return self.session.change_document(
             params["uri"],
             params["text"],
             version=params.get("version"),
             ranges=params.get("ranges"),
+            client=client,
         )
 
-    def _handle_did_close(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _handle_did_close(
+        self, params: Dict[str, Any], client: str
+    ) -> Dict[str, Any]:
         uri = params["uri"]
-        return {"uri": uri, "closed": self.session.close_document(uri)}
+        return {
+            "uri": uri,
+            "closed": self.session.close_document(uri, client=client),
+        }
 
-    def _handle_status(self, params: Dict[str, Any]) -> Dict[str, Any]:
-        return self.session.status()
+    def _handle_cancel(
+        self, params: Dict[str, Any], client: str
+    ) -> Dict[str, Any]:
+        """Cancel a queued or in-flight request of the same client.
 
-    def _handle_ping(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        Queued: removed outright, answered ``REQUEST_CANCELLED`` here
+        and now.  In-flight: cooperatively marked; its worker answers
+        1004 when the handler returns.  Unknown ids (already answered,
+        never seen) report ``cancelled: false``.
+        """
+        if "id" not in params:
+            raise ValueError("cancel needs params.id (the request to cancel)")
+        target = params["id"]
+        entry = self.scheduler.cancel(client, target)
+        if entry is not None:
+            entry.respond(
+                error_response(
+                    target,
+                    REQUEST_CANCELLED,
+                    f"request {target!r} cancelled while queued",
+                )
+            )
+            self.session._count("cancelled", "server.cancelled")
+            self._gauge_queue()
+            return {"id": target, "cancelled": True, "state": "queued"}
+        with self._state_lock:
+            running = self._inflight.get((client, target))
+        if running is not None:
+            running.cancelled.set()
+            return {"id": target, "cancelled": True, "state": "running"}
+        return {"id": target, "cancelled": False, "state": "unknown"}
+
+    def _handle_status(
+        self, params: Dict[str, Any], client: str
+    ) -> Dict[str, Any]:
+        payload = self.session.status()
+        with self._state_lock:
+            busy = self._busy
+        payload["server"] = {
+            "workers": self.workers,
+            "busy": busy,
+            "queue": self.scheduler.snapshot(),
+        }
+        return payload
+
+    def _handle_ping(
+        self, params: Dict[str, Any], client: str
+    ) -> Dict[str, Any]:
         return {"pong": True}
 
-    def _handle_shutdown(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _handle_shutdown(
+        self, params: Dict[str, Any], client: str
+    ) -> Dict[str, Any]:
         self.shutting_down.set()
         self.flushed = self.session.flush()
         return {"ok": True, "flushed": self.flushed}
+
+    # -- worker pool ------------------------------------------------------
+
+    def submit(
+        self,
+        request: Request,
+        client: Optional[str] = None,
+        respond: Callable[[Dict[str, Any]], None] = lambda reply: None,
+    ) -> None:
+        """Feed one request to the pool; ``respond`` is called exactly
+        once with its response, on whichever thread produces it.
+
+        ``cancel`` runs here on the calling (transport) thread — it
+        must never wait behind the request it is cancelling.  Overflow
+        and post-shutdown arrivals are answered immediately.
+        """
+        namespace = request.client or client or DEFAULT_CLIENT
+        if request.method == "cancel":
+            respond(self.handle_request(request, client=namespace))
+            return
+        if self.shutting_down.is_set():
+            respond(
+                error_response(
+                    request.id, SHUTTING_DOWN, "server is shutting down"
+                )
+            )
+            return
+        entry = ScheduledRequest(
+            request=request, client=namespace, respond=respond
+        )
+        if not self.scheduler.submit(entry):
+            if self.shutting_down.is_set():
+                respond(
+                    error_response(
+                        request.id,
+                        SHUTTING_DOWN,
+                        "server is shutting down",
+                    )
+                )
+            else:
+                respond(
+                    error_response(
+                        request.id,
+                        SERVER_BUSY,
+                        f"request queue is full "
+                        f"({self.scheduler.max_pending} pending)",
+                    )
+                )
+            return
+        self._gauge_queue()
+
+    @property
+    def started(self) -> bool:
+        """Whether the worker pool is running."""
+        with self._state_lock:
+            return self._started
+
+    def start(self) -> None:
+        """Start the worker threads (idempotent)."""
+        with self._state_lock:
+            if self._started:
+                return
+            self._started = True
+            for i in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-worker-{i}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    def drain(self) -> None:
+        """Refuse new requests, answer everything queued, stop workers."""
+        self.scheduler.close()
+        for thread in self._threads:
+            thread.join()
+        with self._state_lock:
+            self._threads = []
+            self._started = False
+        if self.session.compute is not None:
+            self.session.compute.close()
+
+    def _worker_loop(self) -> None:
+        while True:
+            entry = self.scheduler.take()
+            if entry is None:
+                return
+            self._gauge_queue()
+            request = entry.request
+            key = (entry.client, request.id)
+            with self._state_lock:
+                self._inflight[key] = entry
+                self._busy += 1
+                busy = self._busy
+            self._gauge_busy(busy)
+            try:
+                reply = self.handle_request(request, client=entry.client)
+            finally:
+                with self._state_lock:
+                    self._inflight.pop(key, None)
+                    self._busy -= 1
+                    busy = self._busy
+                self._gauge_busy(busy)
+            if entry.cancelled.is_set():
+                # Cooperative in-flight cancel: the work completed and
+                # warmed the caches, but the caller asked us not to
+                # deliver it.
+                reply = error_response(
+                    request.id,
+                    REQUEST_CANCELLED,
+                    f"request {request.id!r} cancelled while running",
+                )
+                self.session._count("cancelled", "server.cancelled")
+            entry.respond(reply)
+
+    def _gauge_queue(self) -> None:
+        if obs.is_enabled():
+            obs.gauge("server.queue_depth").set(self.scheduler.depth())
+
+    def _gauge_busy(self, busy: int) -> None:
+        if obs.is_enabled():
+            obs.gauge("server.workers_busy").set(busy)
 
     # -- stdio loop ------------------------------------------------------
 
@@ -235,13 +479,6 @@ class AnalysisServer:
         with self._write_lock:
             out.write(dumps(obj) + "\n")
             out.flush()
-
-    def _worker(self, out: TextIO) -> None:
-        while True:
-            item = self.queue.get()
-            if item is _EOF:
-                return
-            self._write(out, self.handle_request(item))
 
     def serve(
         self,
@@ -268,10 +505,10 @@ class AnalysisServer:
                 except ValueError:  # pragma: no cover - non-main thread
                     pass
 
-        worker = threading.Thread(
-            target=self._worker, args=(out,), daemon=True
-        )
-        worker.start()
+        def respond(reply: Dict[str, Any]) -> None:
+            self._write(out, reply)
+
+        self.start()
         try:
             for line in stdin:
                 if not line.strip():
@@ -283,39 +520,16 @@ class AnalysisServer:
                         out, error_response(None, exc.code, str(exc))
                     )
                     continue
-                if self.shutting_down.is_set():
-                    self._write(
-                        out,
-                        error_response(
-                            request.id,
-                            SHUTTING_DOWN,
-                            "server is shutting down",
-                        ),
-                    )
-                    continue
-                try:
-                    self.queue.put_nowait(request)
-                except queue.Full:
-                    self._write(
-                        out,
-                        error_response(
-                            request.id,
-                            SERVER_BUSY,
-                            f"request queue is full "
-                            f"({self.queue.maxsize} pending)",
-                        ),
-                    )
-                    continue
+                self.submit(request, respond=respond)
                 if request.method == "shutdown":
-                    # The worker answers it (after draining everything
-                    # queued ahead); the reader stops accepting now.
+                    # A worker answers it (after draining this client's
+                    # earlier requests); the reader stops accepting now.
                     break
         except (_SignalStop, KeyboardInterrupt):
             self.shutting_down.set()
         finally:
             # Drain: everything already queued still gets its response.
-            self.queue.put(_EOF)
-            worker.join()
+            self.drain()
             if self.flushed is None:
                 # Shutdown came from EOF or a signal, not a request;
                 # flush here so the next start is just as warm.
@@ -328,6 +542,9 @@ class AnalysisServer:
 def serve_stdio(
     session: Optional[Session] = None,
     queue_size: int = DEFAULT_QUEUE_SIZE,
+    workers: int = DEFAULT_WORKERS,
 ) -> int:
     """Create an :class:`AnalysisServer` and run it over stdio."""
-    return AnalysisServer(session=session, queue_size=queue_size).serve()
+    return AnalysisServer(
+        session=session, queue_size=queue_size, workers=workers
+    ).serve()

@@ -16,6 +16,12 @@ range for analysis-level failures::
 
     {"id": 1, "error": {"code": 1000, "message": "ParseError: ..."}}
 
+Requests may carry a top-level ``"client"`` string naming the session
+namespace they target; multi-client transports key per-client document
+tables on it.  The ``cancel`` method (``params.id`` = the id to
+cancel) drops a queued request or marks an in-flight one — the
+cancelled request itself answers with code 1004.
+
 Responses are rendered compactly (one line, no extra whitespace); the
 embedded ``report`` payloads are plain dicts from :mod:`repro.reporting`
 and :mod:`repro.lint.output`, so re-rendering them with
@@ -43,6 +49,7 @@ __all__ = [
     "REQUEST_TIMEOUT",
     "SERVER_BUSY",
     "SHUTTING_DOWN",
+    "REQUEST_CANCELLED",
     "ProtocolError",
     "Request",
     "RequestTimeout",
@@ -63,6 +70,7 @@ METHODS = (
     "didOpen",
     "didChange",
     "didClose",
+    "cancel",
     "status",
     "ping",
     "shutdown",
@@ -80,6 +88,7 @@ ANALYSIS_ERROR = 1000  # lex/parse/validate/analysis failure
 REQUEST_TIMEOUT = 1001  # per-request wall-clock budget exceeded
 SERVER_BUSY = 1002  # bounded request queue is full
 SHUTTING_DOWN = 1003  # request arrived after shutdown began
+REQUEST_CANCELLED = 1004  # request cancelled via the ``cancel`` method
 
 
 class ProtocolError(Exception):
@@ -96,11 +105,17 @@ class RequestTimeout(ReproError):
 
 @dataclass
 class Request:
-    """One decoded protocol request."""
+    """One decoded protocol request.
+
+    ``client`` is the optional session namespace the request targets —
+    multi-client transports (HTTP) key per-client document tables on
+    it.  ``None`` means the transport's default namespace.
+    """
 
     id: Any
     method: str
     params: Dict[str, Any] = field(default_factory=dict)
+    client: Optional[str] = None
 
 
 def decode_request(line: str) -> Request:
@@ -123,7 +138,14 @@ def decode_request(line: str) -> Request:
         raise ProtocolError(
             INVALID_PARAMS, "'params' must be a JSON object"
         )
-    return Request(id=obj.get("id"), method=method, params=params)
+    client = obj.get("client")
+    if client is not None and not isinstance(client, str):
+        raise ProtocolError(
+            INVALID_REQUEST, "'client' must be a string when present"
+        )
+    return Request(
+        id=obj.get("id"), method=method, params=params, client=client
+    )
 
 
 def dumps(obj: Any) -> str:

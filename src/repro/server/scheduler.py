@@ -1,0 +1,198 @@
+"""Fair two-level request scheduling for the daemon's worker pool.
+
+The single-worker daemon processed requests in strict arrival order;
+with a pool of workers serving many clients, arrival order is the wrong
+policy twice over: a queued ``batch`` sweep would starve every
+interactive ``analyze`` behind it, and one chatty client could starve
+everyone else's requests even at the same priority.  The
+:class:`FairScheduler` fixes both with the smallest policy that does:
+
+* **two priority levels** — interactive methods (``analyze``, ``lint``,
+  ``repair``, document notifications, ``status``…) always dispatch
+  before ``batch`` requests;
+* **round-robin across clients** within a level — after a client's
+  request is taken, that client rotates to the back, so N clients each
+  flooding the queue get served 1:1:…:1, not in arrival bursts;
+* **FIFO within one client** at one level — a client's own requests
+  never overtake each other, which is what keeps ``didOpen`` →
+  ``analyze`` sequences coherent per client.
+
+The queue is bounded (total across levels and clients): overflow is
+reported to the submitter, which answers ``SERVER_BUSY`` — same
+backpressure contract as the old single queue.
+
+Cancellation: :meth:`cancel` removes a *queued* entry outright and
+returns it (the daemon answers it with ``REQUEST_CANCELLED`` without
+ever running it).  In-flight requests are past the scheduler; the
+daemon tracks those in its own registry and marks their
+:attr:`ScheduledRequest.cancelled` event instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Optional
+
+from .protocol import Request
+
+__all__ = [
+    "BATCH_METHODS",
+    "DEFAULT_CLIENT",
+    "FairScheduler",
+    "PRIORITY_BATCH",
+    "PRIORITY_INTERACTIVE",
+    "ScheduledRequest",
+    "priority_of",
+]
+
+PRIORITY_INTERACTIVE = 0
+PRIORITY_BATCH = 1
+
+# Everything not named here is interactive: cheap, latency-sensitive,
+# or a notification a client is blocked on.
+BATCH_METHODS = frozenset({"batch"})
+
+DEFAULT_CLIENT = "default"
+
+
+def priority_of(method: str) -> int:
+    """The scheduling level for ``method``."""
+    return PRIORITY_BATCH if method in BATCH_METHODS else PRIORITY_INTERACTIVE
+
+
+@dataclass
+class ScheduledRequest:
+    """One queued request plus everything needed to answer it.
+
+    ``respond`` is the transport-specific continuation — write a line
+    to stdout, release a waiting HTTP connection thread.  Every entry
+    accepted by the scheduler is answered exactly once: by a worker, by
+    the cancel path, or by the shutdown drain.
+    """
+
+    request: Request
+    client: str = DEFAULT_CLIENT
+    respond: Callable[[Dict[str, Any]], None] = lambda reply: None
+    cancelled: threading.Event = field(default_factory=threading.Event)
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+class FairScheduler:
+    """Bounded two-level priority queue with per-client round-robin."""
+
+    def __init__(self, max_pending: int = 64) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.max_pending = max_pending
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        # Per level: client id -> that client's FIFO of entries.  The
+        # OrderedDict order *is* the round-robin rotation.
+        self._levels: tuple = (
+            OrderedDict(),  # PRIORITY_INTERACTIVE
+            OrderedDict(),  # PRIORITY_BATCH
+        )
+        self._pending = 0
+        self._closed = False
+
+    # -- producer side ----------------------------------------------------
+
+    def submit(self, entry: ScheduledRequest) -> bool:
+        """Enqueue ``entry``; False when the queue is full or closed."""
+        with self._available:
+            if self._closed or self._pending >= self.max_pending:
+                return False
+            level: "OrderedDict[str, Deque[ScheduledRequest]]" = (
+                self._levels[priority_of(entry.request.method)]
+            )
+            queue = level.get(entry.client)
+            if queue is None:
+                # New clients join the back of the rotation.
+                queue = level[entry.client] = deque()
+            queue.append(entry)
+            self._pending += 1
+            self._available.notify()
+            return True
+
+    def cancel(
+        self, client: str, request_id: Any
+    ) -> Optional[ScheduledRequest]:
+        """Remove and return the queued request with ``request_id``.
+
+        Matches the oldest queued entry of ``client`` whose request id
+        equals ``request_id``; ``None`` when nothing queued matches
+        (the request may be in flight, done, or unknown).
+        """
+        with self._available:
+            for level in self._levels:
+                queue = level.get(client)
+                if not queue:
+                    continue
+                for entry in queue:
+                    if entry.request.id == request_id:
+                        queue.remove(entry)
+                        if not queue:
+                            del level[client]
+                        self._pending -= 1
+                        entry.cancelled.set()
+                        return entry
+        return None
+
+    def close(self) -> None:
+        """Refuse new submissions; wake workers so they can drain."""
+        with self._available:
+            self._closed = True
+            self._available.notify_all()
+
+    # -- consumer side ----------------------------------------------------
+
+    def take(self) -> Optional[ScheduledRequest]:
+        """Block for the next entry; ``None`` once closed and drained."""
+        with self._available:
+            while True:
+                entry = self._pop_locked()
+                if entry is not None:
+                    self._pending -= 1
+                    return entry
+                if self._closed:
+                    return None
+                self._available.wait()
+
+    def _pop_locked(self) -> Optional[ScheduledRequest]:
+        for level in self._levels:
+            while level:
+                client, queue = next(iter(level.items()))
+                if not queue:  # pragma: no cover - defensive
+                    del level[client]
+                    continue
+                entry = queue.popleft()
+                if queue:
+                    # Served one: rotate this client to the back.
+                    level.move_to_end(client)
+                else:
+                    del level[client]
+                return entry
+        return None
+
+    # -- introspection ----------------------------------------------------
+
+    def depth(self) -> int:
+        """How many requests are currently queued."""
+        with self._lock:
+            return self._pending
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Status payload: depth, bound, per-level client queue sizes."""
+        with self._lock:
+            return {
+                "pending": self._pending,
+                "max_pending": self.max_pending,
+                "closed": self._closed,
+                "levels": [
+                    {client: len(queue) for client, queue in level.items()}
+                    for level in self._levels
+                ],
+            }

@@ -26,11 +26,29 @@ the cheap case (every edited range outside every task/procedure
 declaration span).  Anything that changes the canonical program is a
 *full* invalidation of that one document; other documents are never
 touched.
+
+**Multi-client namespaces.**  Document tables are keyed per client
+(the ``client`` field on protocol requests; HTTP clients default to a
+per-address id), so two editors opening ``mem:a`` with different
+buffers never clobber each other.  The expensive shared state — the
+resident :class:`LruFront` and the disk store — is content-addressed
+and deliberately *crosses* namespaces: the same program analyzed by
+any client warms every other.
+
+**Thread safety.**  The daemon's worker pool serves requests from
+several threads.  Session-level mutable state (the namespace table,
+the plain counters) is guarded by one session lock; each
+:class:`Document` carries an ``RLock`` held for the whole of any
+operation that reads or rebuilds its layered caches, so requests for
+the *same* document serialize (preserving warm-cache semantics) while
+requests for different documents run concurrently.  The shared
+``LruFront``/``ResultCache`` lock themselves.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -49,6 +67,7 @@ from ..farm.cache import LruFront, ResultCache, cache_key
 from ..farm.pool import (
     STATUS_OK,
     STATUS_TIMEOUT,
+    SharedProcessPool,
     WorkItem,
     run_pool,
 )
@@ -58,6 +77,7 @@ from ..lang.pretty import pretty
 from ..waves.guide import validate_strategy
 from ..reporting import analysis_result_to_dict, repair_report_to_dict
 from .protocol import PROTOCOL_VERSION, RequestTimeout
+from .scheduler import DEFAULT_CLIENT
 
 __all__ = ["Document", "Session", "INVALIDATION_KINDS"]
 
@@ -108,6 +128,12 @@ class Document:
         self.source = text
         self.opened_at = time.time()
         self.rebuilds = 0  # full pipeline invalidations survived
+        # Held for the whole of any session operation on this document:
+        # same-document requests serialize (lazy layers build once,
+        # warm-cache progressions stay deterministic), different
+        # documents proceed in parallel.  RLock because analyze →
+        # repair style nesting re-enters from the same worker thread.
+        self.lock = threading.RLock()
         self._reset()
 
     # -- cached layers ---------------------------------------------------
@@ -279,16 +305,25 @@ class Session:
         self,
         store: Optional[ResultCache] = None,
         lru_entries: int = 256,
+        compute: Optional[SharedProcessPool] = None,
     ) -> None:
-        self.documents: Dict[str, Document] = {}
+        self._namespaces: Dict[str, Dict[str, Document]] = {
+            DEFAULT_CLIENT: {}
+        }
         self.store = store
         self.lru = LruFront(max_entries=lru_entries)
+        self.compute = compute
         self.started_at = time.time()
+        # Guards the namespace table and the plain counters; never held
+        # across an analysis (document locks cover those).
+        self._lock = threading.RLock()
         self.counters: Dict[str, int] = {
             "requests": 0,
             "cache_hits": 0,
             "store_hits": 0,
             "computed": 0,
+            "offloaded": 0,
+            "cancelled": 0,
             "lint_cache_hits": 0,
             "lint_runs": 0,
             "repairs": 0,
@@ -297,25 +332,57 @@ class Session:
             "invalidations_full": 0,
         }
 
+    # -- namespaces ------------------------------------------------------
+
+    @property
+    def documents(self) -> Dict[str, Document]:
+        """The default client's document table (single-client callers)."""
+        return self._docs(DEFAULT_CLIENT)
+
+    def _docs(self, client: Optional[str]) -> Dict[str, Document]:
+        name = client or DEFAULT_CLIENT
+        with self._lock:
+            docs = self._namespaces.get(name)
+            if docs is None:
+                docs = self._namespaces[name] = {}
+            return docs
+
+    def namespaces(self) -> Dict[str, Dict[str, Document]]:
+        """Snapshot of every client's document table."""
+        with self._lock:
+            return {
+                client: dict(docs)
+                for client, docs in self._namespaces.items()
+            }
+
     # -- counters --------------------------------------------------------
 
     def _count(self, name: str, obs_name: str) -> None:
-        self.counters[name] = self.counters.get(name, 0) + 1
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + 1
         if obs.is_enabled():
             obs.counter(obs_name).inc()
 
+    def _document_count(self) -> int:
+        with self._lock:
+            return sum(len(docs) for docs in self._namespaces.values())
+
     def _update_gauges(self) -> None:
         if obs.is_enabled():
-            obs.gauge("server.documents").set(len(self.documents))
+            obs.gauge("server.documents").set(self._document_count())
             obs.gauge("server.lru.entries").set(len(self.lru))
 
     # -- document lifecycle ----------------------------------------------
 
     def open_document(
-        self, uri: str, text: str, version: int = 1
+        self,
+        uri: str,
+        text: str,
+        version: int = 1,
+        client: Optional[str] = None,
     ) -> Document:
         doc = Document(uri, text, version=version)
-        self.documents[uri] = doc
+        self._docs(client)[uri] = doc
         self._update_gauges()
         return doc
 
@@ -325,14 +392,18 @@ class Session:
         text: str,
         version: Optional[int] = None,
         ranges: Optional[Sequence[Dict[str, Any]]] = None,
+        client: Optional[str] = None,
     ) -> Dict[str, Any]:
-        doc = self.documents.get(uri)
+        doc = self._docs(client).get(uri)
         if doc is None:
-            doc = self.open_document(uri, text, version=version or 1)
+            doc = self.open_document(
+                uri, text, version=version or 1, client=client
+            )
             kind, reason = "full", "opened"
             self._count("invalidations_full", "server.invalidations.full")
         else:
-            kind, reason = doc.apply_change(text, version, ranges)
+            with doc.lock:
+                kind, reason = doc.apply_change(text, version, ranges)
             self._count(
                 f"invalidations_{kind}", f"server.invalidations.{kind}"
             )
@@ -343,34 +414,42 @@ class Session:
             "reason": reason,
         }
 
-    def close_document(self, uri: str) -> bool:
-        existed = self.documents.pop(uri, None) is not None
+    def close_document(
+        self, uri: str, client: Optional[str] = None
+    ) -> bool:
+        existed = self._docs(client).pop(uri, None) is not None
         self._update_gauges()
         return existed
 
     def _resolve(
-        self, uri: Optional[str], text: Optional[str]
+        self,
+        uri: Optional[str],
+        text: Optional[str],
+        client: Optional[str] = None,
     ) -> Document:
         """The document a request targets, opening/updating as needed."""
+        docs = self._docs(client)
         if text is not None:
             uri = uri or "untitled:adhoc"
-            doc = self.documents.get(uri)
+            doc = docs.get(uri)
             if doc is None:
-                return self.open_document(uri, text)
-            if text != doc.source:
-                kind, _ = doc.apply_change(text)
-                self._count(
-                    f"invalidations_{kind}", f"server.invalidations.{kind}"
-                )
+                return self.open_document(uri, text, client=client)
+            with doc.lock:
+                if text != doc.source:
+                    kind, _ = doc.apply_change(text)
+                    self._count(
+                        f"invalidations_{kind}",
+                        f"server.invalidations.{kind}",
+                    )
             return doc
         if uri is None:
             raise ValueError("request needs a 'uri' or a 'text' param")
-        doc = self.documents.get(uri)
+        doc = docs.get(uri)
         if doc is not None:
             return doc
         path = Path(uri)
         if path.is_file():
-            return self.open_document(uri, path.read_text())
+            return self.open_document(uri, path.read_text(), client=client)
         raise ValueError(
             f"unknown document {uri!r} (didOpen it, pass 'text', or "
             "use a readable file path)"
@@ -389,6 +468,7 @@ class Session:
         timeout: Optional[float] = None,
         strategy: str = "bfs",
         beam_width: Optional[int] = None,
+        client: Optional[str] = None,
     ) -> Tuple[Dict[str, Any], str]:
         """One ``analyze`` request: ``(report payload, cache source)``.
 
@@ -402,7 +482,7 @@ class Session:
         :func:`repro.api.analyze`; they are part of the cache key.
         """
         result, payload, cache = self._analysis(
-            self._resolve(uri, text),
+            self._resolve(uri, text, client),
             algorithm=algorithm,
             exact=exact,
             state_limit=state_limit,
@@ -430,65 +510,115 @@ class Session:
                 f"{sorted(ALGORITHMS)} or 'exact'"
             )
         validate_strategy(strategy, beam_width)
-        key = cache_key(
-            doc.program(),
-            algorithm=algorithm,
-            state_limit=state_limit,
-            exact=exact,
-            strategy=strategy,
-            beam_width=beam_width,
-        )
-        cached = self.lru.get(key)
-        if cached is not None:
-            self._count("cache_hits", "server.cache_hits")
-            return cached[0], cached[1], "memory"
-        if self.store is not None:
-            result = self.store.get(key)
-            if result is not None:
-                payload = analysis_result_to_dict(result)
-                self.lru.put(key, (result, payload))
-                self._count("store_hits", "server.store_hits")
-                return result, payload, "store"
+        with doc.lock:
+            key = cache_key(
+                doc.program(),
+                algorithm=algorithm,
+                state_limit=state_limit,
+                exact=exact,
+                strategy=strategy,
+                beam_width=beam_width,
+            )
+            cached = self.lru.get(key)
+            if cached is not None:
+                self._count("cache_hits", "server.cache_hits")
+                return cached[0], cached[1], "memory"
+            if self.store is not None:
+                result = self.store.get(key)
+                if result is not None:
+                    payload = analysis_result_to_dict(result)
+                    self.lru.put(key, (result, payload))
+                    self._count("store_hits", "server.store_hits")
+                    return result, payload, "store"
 
-        is_exact = exact or algorithm == "exact"
-        if timeout is not None and is_exact:
-            result = self._analyze_pooled(
-                doc, algorithm, exact, state_limit, backend, timeout,
-                strategy=strategy, beam_width=beam_width,
-            )
-        else:
-            prep = doc.prepared()
-            index = (
-                doc.index()
-                if backend == "index"
-                and not is_exact
-                and algorithm in INDEX_AWARE
-                else None
-            )
-            engine = (
-                doc.engine()
-                if backend == "index" and is_exact
-                else None
-            )
-            result = analyze_prepared(
-                prep,
+            result = None
+            if timeout is not None:
+                # Any request with a wall-clock budget runs in its own
+                # pool process so an overrun is terminated preemptively
+                # — for every algorithm, not just exact exploration (a
+                # refined-only timeout used to be silently dropped).
+                result = self._analyze_pooled(
+                    doc, algorithm, exact, state_limit, backend, timeout,
+                    strategy=strategy, beam_width=beam_width,
+                )
+            elif self.compute is not None and not doc.artifacts()["prepared"]:
+                # Cold document + a shared compute pool (multi-worker
+                # daemon): offload the whole pipeline to a process so
+                # concurrent clients use real cores instead of
+                # contending for the GIL.  Warm documents stay
+                # in-process where their resident kernels live.
+                result = self._analyze_offloaded(
+                    doc, algorithm, exact, state_limit, backend,
+                    strategy=strategy, beam_width=beam_width,
+                )
+            if result is None:
+                is_exact = exact or algorithm == "exact"
+                prep = doc.prepared()
+                index = (
+                    doc.index()
+                    if backend == "index"
+                    and not is_exact
+                    and algorithm in INDEX_AWARE
+                    else None
+                )
+                engine = (
+                    doc.engine()
+                    if backend == "index" and is_exact
+                    else None
+                )
+                result = analyze_prepared(
+                    prep,
+                    algorithm=algorithm,
+                    exact=exact,
+                    state_limit=state_limit,
+                    backend=backend,
+                    index=index,
+                    engine=engine,
+                    uri=doc.uri,
+                    strategy=strategy,
+                    beam_width=beam_width,
+                )
+            payload = analysis_result_to_dict(result)
+            self.lru.put(key, (result, payload))
+            if self.store is not None:
+                self.store.put(key, result)
+            self._count("computed", "server.computed")
+            self._update_gauges()
+            return result, payload, "computed"
+
+    def _analyze_offloaded(
+        self,
+        doc: Document,
+        algorithm: str,
+        exact: bool,
+        state_limit: int,
+        backend: str,
+        strategy: str = "bfs",
+        beam_width: Optional[int] = None,
+    ) -> Optional[AnalysisResult]:
+        """Try one analysis on the shared compute pool.
+
+        Returns ``None`` to fall back in-process: a failed item
+        re-raises its typed error there (identical message to a
+        non-offloaded run), and a crashed/broken pool degrades to the
+        GIL-bound path rather than the request failing.
+        """
+        outcome = self.compute.run(
+            WorkItem(
+                label=doc.uri,
+                source=doc.source,
                 algorithm=algorithm,
                 exact=exact,
                 state_limit=state_limit,
                 backend=backend,
-                index=index,
-                engine=engine,
-                uri=doc.uri,
                 strategy=strategy,
                 beam_width=beam_width,
             )
-        payload = analysis_result_to_dict(result)
-        self.lru.put(key, (result, payload))
-        if self.store is not None:
-            self.store.put(key, result)
-        self._count("computed", "server.computed")
-        self._update_gauges()
-        return result, payload, "computed"
+        )
+        if outcome.status != STATUS_OK:
+            return None
+        self._count("offloaded", "server.offloaded")
+        return outcome.result
 
     def _analyze_pooled(
         self,
@@ -537,6 +667,7 @@ class Session:
         disable: Sequence[str] = (),
         select: Optional[Sequence[str]] = None,
         sarif: bool = False,
+        client: Optional[str] = None,
     ) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]], str]:
         """One ``lint`` request: ``(payload, sarif doc or None, cache)``.
 
@@ -547,28 +678,29 @@ class Session:
         """
         from ..lint import lint_to_dict, run_lint, sarif_report
 
-        doc = self._resolve(uri, text)
-        key = (
-            tuple(disable),
-            tuple(select) if select is not None else None,
-        )
-        result = doc._lint_cache.get(key)
-        if result is not None:
-            cache = "memory"
-            self._count("lint_cache_hits", "server.lint_cache_hits")
-        else:
-            cache = "computed"
-            result = run_lint(
-                doc.program(),
-                source=doc.source,
-                path=doc.uri,
-                disable=disable,
-                select=select,
+        doc = self._resolve(uri, text, client)
+        with doc.lock:
+            key = (
+                tuple(disable),
+                tuple(select) if select is not None else None,
             )
-            doc._lint_cache[key] = result
-            self._count("lint_runs", "server.lint_runs")
-        sarif_doc = sarif_report([result]) if sarif else None
-        return lint_to_dict(result), sarif_doc, cache
+            result = doc._lint_cache.get(key)
+            if result is not None:
+                cache = "memory"
+                self._count("lint_cache_hits", "server.lint_cache_hits")
+            else:
+                cache = "computed"
+                result = run_lint(
+                    doc.program(),
+                    source=doc.source,
+                    path=doc.uri,
+                    disable=disable,
+                    select=select,
+                )
+                doc._lint_cache[key] = result
+                self._count("lint_runs", "server.lint_runs")
+            sarif_doc = sarif_report([result]) if sarif else None
+            return lint_to_dict(result), sarif_doc, cache
 
     # -- repair ----------------------------------------------------------
 
@@ -582,6 +714,7 @@ class Session:
         max_fixes: int = 5,
         strategy: str = "bfs",
         beam_width: Optional[int] = None,
+        client: Optional[str] = None,
     ) -> Tuple[Dict[str, Any], str]:
         """One ``repair`` request: the CLI ``--suggest-fixes --json``
         payload (analysis report + ``"repair"`` key), cache-aware.
@@ -592,42 +725,43 @@ class Session:
         """
         from ..repair import suggest_repairs
 
-        doc = self._resolve(uri, text)
+        doc = self._resolve(uri, text, client)
         repair_algorithm = "refined" if algorithm == "exact" else algorithm
-        result, payload, cache = self._analysis(
-            doc,
-            algorithm=algorithm,
-            exact=False,
-            state_limit=state_limit,
-            backend=backend,
-        )
-        repair_key = "repair:" + cache_key(
-            doc.program(),
-            algorithm=repair_algorithm,
-            state_limit=state_limit,
-            strategy=strategy,
-            beam_width=beam_width,
-        ) + f":{max_fixes}"
-        cached = self.lru.get(repair_key)
-        if cached is not None:
-            self._count("cache_hits", "server.cache_hits")
-            return cached[1], "memory"
-        report = suggest_repairs(
-            result=result,
-            algorithm=repair_algorithm,
-            backend=backend,
-            state_limit=state_limit,
-            max_fixes=max_fixes,
-            strategy=strategy,
-            beam_width=beam_width,
-        )
-        # Re-render through the same reporting entry point the CLI uses
-        # so the repair-bearing payload is byte-identical to
-        # ``--suggest-fixes --json``.
-        full = analysis_result_to_dict(result, repair=report)
-        self.lru.put(repair_key, (report, full))
-        self._count("repairs", "server.repairs")
-        return full, cache
+        with doc.lock:
+            result, payload, cache = self._analysis(
+                doc,
+                algorithm=algorithm,
+                exact=False,
+                state_limit=state_limit,
+                backend=backend,
+            )
+            repair_key = "repair:" + cache_key(
+                doc.program(),
+                algorithm=repair_algorithm,
+                state_limit=state_limit,
+                strategy=strategy,
+                beam_width=beam_width,
+            ) + f":{max_fixes}"
+            cached = self.lru.get(repair_key)
+            if cached is not None:
+                self._count("cache_hits", "server.cache_hits")
+                return cached[1], "memory"
+            report = suggest_repairs(
+                result=result,
+                algorithm=repair_algorithm,
+                backend=backend,
+                state_limit=state_limit,
+                max_fixes=max_fixes,
+                strategy=strategy,
+                beam_width=beam_width,
+            )
+            # Re-render through the same reporting entry point the CLI
+            # uses so the repair-bearing payload is byte-identical to
+            # ``--suggest-fixes --json``.
+            full = analysis_result_to_dict(result, repair=report)
+            self.lru.put(repair_key, (report, full))
+            self._count("repairs", "server.repairs")
+            return full, cache
 
     # -- batch -----------------------------------------------------------
 
@@ -679,14 +813,25 @@ class Session:
 
     def status(self) -> Dict[str, Any]:
         self._update_gauges()
+        namespaces = self.namespaces()
+        with self._lock:
+            counters = dict(self.counters)
         payload: Dict[str, Any] = {
             "protocol_version": PROTOCOL_VERSION,
             "pid": os.getpid(),
             "uptime_s": round(time.time() - self.started_at, 3),
+            # Flat view (single-client payload shape unchanged): the
+            # default namespace's documents, as every stdio client sees.
             "documents": [
-                doc.to_dict() for doc in self.documents.values()
+                doc.to_dict()
+                for doc in namespaces.get(DEFAULT_CLIENT, {}).values()
             ],
-            "counters": dict(self.counters),
+            "clients": {
+                client: sorted(docs)
+                for client, docs in sorted(namespaces.items())
+                if docs
+            },
+            "counters": counters,
             "lru": self.lru.snapshot(),
             "store": (
                 {

@@ -598,3 +598,118 @@ class TestLruFront:
             entry.unlink()
         assert not cache.on_disk("k" * 64)
         assert cache.contains("k" * 64)  # the front still has it
+
+
+# ---------------------------------------------------------------------------
+# thread safety (the daemon's worker pool shares these objects)
+
+
+class TestLruFrontThreadSafety:
+    def test_concurrent_gets_count_exactly(self):
+        import threading
+
+        from repro.farm.cache import LruFront
+
+        front = LruFront(max_entries=8)
+        front.put("k", "v")
+        workers, per = 8, 2000
+        errors = []
+
+        def reader():
+            try:
+                for _ in range(per):
+                    assert front.get("k") == "v"
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Unguarded ``self.hits += 1`` loses updates under contention;
+        # the lock makes the count exact, not approximate.
+        assert front.hits == workers * per
+        assert front.misses == 0
+
+    def test_concurrent_churn_never_corrupts(self):
+        import threading
+
+        from repro.farm.cache import LruFront
+
+        # Tiny capacity + many distinct keys: every put races the
+        # eviction loop, every get races ``move_to_end`` — the exact
+        # shape that raised KeyError from the unguarded OrderedDict.
+        front = LruFront(max_entries=4)
+        workers, per = 8, 1000
+        errors = []
+
+        def churn(i):
+            try:
+                for n in range(per):
+                    front.put(f"w{i}-{n % 16}", n)
+                    front.get(f"w{(i + 1) % workers}-{n % 16}")
+                    len(front)
+                    front.snapshot()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churn, args=(i,))
+            for i in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(front) <= 4
+        snap = front.snapshot()
+        assert snap["hits"] + snap["misses"] == workers * per
+
+
+class TestSharedProcessPool:
+    def test_run_matches_in_process_analysis(self):
+        from repro.farm.pool import SharedProcessPool
+
+        with SharedProcessPool(jobs=2) as pool:
+            outcome = pool.run(
+                WorkItem(label="crossed", source=CROSSED_SRC)
+            )
+            assert outcome.status == STATUS_OK
+            direct = analyze(CROSSED_SRC)
+            assert (
+                outcome.result.deadlock.verdict
+                == direct.deadlock.verdict
+            )
+            # The executor persists across run() calls.
+            again = pool.run(
+                WorkItem(label="handshake", source=HANDSHAKE_SRC)
+            )
+            assert again.status == STATUS_OK
+
+    def test_failures_are_outcomes_not_exceptions(self):
+        from repro.farm.pool import SharedProcessPool
+
+        with SharedProcessPool(jobs=2) as pool:
+            outcome = pool.run(WorkItem(label="bad", source="program ;"))
+            assert outcome.status == STATUS_FAILED
+            assert outcome.error
+
+    def test_close_is_idempotent_and_reusable(self):
+        from repro.farm.pool import SharedProcessPool
+
+        pool = SharedProcessPool(jobs=2)
+        pool.close()
+        pool.close()
+        # A closed pool lazily rebuilds its executor on the next run.
+        outcome = pool.run(WorkItem(label="h", source=HANDSHAKE_SRC))
+        assert outcome.status == STATUS_OK
+        pool.close()
+
+    def test_rejects_zero_jobs(self):
+        from repro.farm.pool import SharedProcessPool
+
+        with pytest.raises(ValueError):
+            SharedProcessPool(jobs=0)

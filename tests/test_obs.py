@@ -287,3 +287,62 @@ class TestExporters:
             repro.analyze(handshake)
             two = session.registry.counter_value("analyze.runs")
         assert (one, two) == (1, 2)
+
+
+# ---------------------------------------------------------------------------
+# thread safety (instruments are shared across daemon worker threads)
+
+
+class TestRegistryThreadSafety:
+    def test_concurrent_increments_are_exact(self):
+        import threading
+
+        reg = MetricsRegistry()
+        counter = reg.counter("hits")
+        gauge = reg.gauge("depth")
+        hist = reg.histogram("sizes")
+        workers, per = 8, 2000
+        barrier = threading.Barrier(workers)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per):
+                counter.inc()
+                gauge.set(1.0)
+                hist.observe(2.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Unguarded ``self.value += amount`` drops updates under the
+        # worker pool; totals must be exact, not approximate.
+        assert reg.counter_value("hits") == workers * per
+        assert hist.count == workers * per
+        assert hist.sum == pytest.approx(2.0 * workers * per)
+        assert hist.min == hist.max == 2.0
+
+    def test_get_or_create_race_yields_one_instrument(self):
+        import threading
+
+        reg = MetricsRegistry()
+        workers = 8
+        barrier = threading.Barrier(workers)
+        found = []
+        lock = threading.Lock()
+
+        def create():
+            barrier.wait()
+            c = reg.counter("shared", kind="x")
+            c.inc()
+            with lock:
+                found.append(c)
+
+        threads = [threading.Thread(target=create) for _ in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is found[0] for c in found)
+        assert reg.counter_value("shared", kind="x") == workers

@@ -523,7 +523,7 @@ class TestDaemonDispatch:
         assert report["deadlock"]["verdict"] == "possible-deadlock"
 
     def test_queue_size_default(self):
-        assert make_server().queue.maxsize == DEFAULT_QUEUE_SIZE
+        assert make_server().scheduler.max_pending == DEFAULT_QUEUE_SIZE
 
     def test_parse_hostport(self):
         assert parse_hostport("localhost:9000") == ("localhost", 9000)
@@ -587,6 +587,19 @@ def transcript_requests():
             {"id": 1, "method": "mystery", "params": {}},
             {"id": 2, "method": "analyze", "params": {"uri": "mem:ghost"}},
             {"id": 3, "method": "shutdown", "params": {}},
+        ],
+        "cancel_status.jsonl": [
+            {
+                "id": 1,
+                "method": "didOpen",
+                "params": {"uri": "mem:crossed", "text": CROSSED_SRC},
+            },
+            # Nothing queued or running on the synchronous path: the
+            # unknown-id shape is the deterministic one.
+            {"id": 2, "method": "cancel", "params": {"id": 99}},
+            {"id": 3, "method": "cancel", "params": {}},
+            {"id": 4, "method": "status", "params": {}},
+            {"id": 5, "method": "shutdown", "params": {}},
         ],
     }
 
@@ -709,3 +722,704 @@ class TestStdioSmoke:
         assert len(replies) == 3
         for reply in replies:
             assert set(reply) <= {"id", "result", "error"}
+
+    def test_multi_worker_round_trip(self):
+        # Responses may arrive out of order with a real pool; the
+        # envelope ids are the correlation mechanism.
+        proc, replies = run_daemon(
+            [
+                {
+                    "id": 1,
+                    "method": "analyze",
+                    "params": {"uri": "mem:a", "text": CROSSED_SRC},
+                },
+                {
+                    "id": 2,
+                    "method": "analyze",
+                    "params": {"uri": "mem:b", "text": HANDSHAKE_SRC},
+                },
+                {"id": 3, "method": "shutdown", "params": {}},
+            ],
+            "--no-store",
+            "--workers",
+            "2",
+        )
+        assert proc.returncode == 0
+        by_id = {r["id"]: r for r in replies}
+        assert len(by_id) == 3
+        assert (
+            by_id[1]["result"]["report"]["deadlock"]["verdict"]
+            == "possible-deadlock"
+        )
+        assert (
+            by_id[2]["result"]["report"]["deadlock"]["verdict"]
+            == "certified-deadlock-free"
+        )
+        assert by_id[3]["result"]["ok"] is True
+
+
+# ---------------------------------------------------------------------------
+# fair scheduler
+
+
+def sched_entry(method, id, client="default", respond=None):
+    from repro.server.protocol import Request
+    from repro.server.scheduler import ScheduledRequest
+
+    return ScheduledRequest(
+        request=Request(id=id, method=method, params={}),
+        client=client,
+        respond=respond or (lambda reply: None),
+    )
+
+
+class TestFairScheduler:
+    def test_interactive_dispatches_before_batch(self):
+        from repro.server.scheduler import FairScheduler
+
+        sched = FairScheduler()
+        sched.submit(sched_entry("batch", 1))
+        sched.submit(sched_entry("analyze", 2))
+        sched.submit(sched_entry("lint", 3))
+        order = [sched.take().request.id for _ in range(3)]
+        assert order == [2, 3, 1]
+
+    def test_round_robin_across_clients(self):
+        from repro.server.scheduler import FairScheduler
+
+        sched = FairScheduler()
+        for i in range(3):
+            sched.submit(sched_entry("analyze", f"a{i}", client="alice"))
+        for i in range(2):
+            sched.submit(sched_entry("analyze", f"b{i}", client="bob"))
+        order = [sched.take().request.id for _ in range(5)]
+        # 1:1 interleave, not alice's arrival burst first.
+        assert order == ["a0", "b0", "a1", "b1", "a2"]
+
+    def test_fifo_within_one_client(self):
+        from repro.server.scheduler import FairScheduler
+
+        sched = FairScheduler()
+        for i in range(5):
+            sched.submit(sched_entry("analyze", i))
+        assert [sched.take().request.id for _ in range(5)] == list(range(5))
+
+    def test_bounded_queue_rejects_overflow(self):
+        from repro.server.scheduler import FairScheduler
+
+        sched = FairScheduler(max_pending=2)
+        assert sched.submit(sched_entry("analyze", 1))
+        assert sched.submit(sched_entry("analyze", 2))
+        assert not sched.submit(sched_entry("analyze", 3))
+        sched.take()
+        assert sched.submit(sched_entry("analyze", 4))
+
+    def test_cancel_removes_queued_entry(self):
+        from repro.server.scheduler import FairScheduler
+
+        sched = FairScheduler()
+        sched.submit(sched_entry("analyze", 1))
+        sched.submit(sched_entry("analyze", 2))
+        entry = sched.cancel("default", 1)
+        assert entry is not None and entry.cancelled.is_set()
+        assert sched.cancel("default", 99) is None
+        assert sched.cancel("other-client", 2) is None
+        assert sched.take().request.id == 2
+        assert sched.depth() == 0
+
+    def test_close_drains_then_returns_none(self):
+        from repro.server.scheduler import FairScheduler
+
+        sched = FairScheduler()
+        sched.submit(sched_entry("analyze", 1))
+        sched.close()
+        assert not sched.submit(sched_entry("analyze", 2))
+        assert sched.take().request.id == 1
+        assert sched.take() is None
+
+    def test_snapshot_shape(self):
+        from repro.server.scheduler import FairScheduler
+
+        sched = FairScheduler(max_pending=9)
+        sched.submit(sched_entry("analyze", 1, client="alice"))
+        sched.submit(sched_entry("batch", 2, client="alice"))
+        snap = sched.snapshot()
+        assert snap["pending"] == 2
+        assert snap["max_pending"] == 9
+        assert snap["levels"] == [{"alice": 1}, {"alice": 1}]
+
+
+# ---------------------------------------------------------------------------
+# concurrent daemon: worker pool, cancellation, fairness end to end
+
+
+def submit_request(server, method, params=None, id=1, client=None):
+    """Submit through the pool; returns the (thread-safe) reply box."""
+    import threading
+
+    from repro.server.protocol import Request
+
+    box = {}
+    done = threading.Event()
+
+    def respond(reply):
+        box["reply"] = reply
+        done.set()
+
+    box["done"] = done
+    server.submit(
+        Request(id=id, method=method, params=params or {}),
+        client=client,
+        respond=respond,
+    )
+    return box
+
+
+class TestConcurrentDaemon:
+    def test_pool_serves_concurrent_clients(self):
+        server = AnalysisServer(session=Session(store=None), workers=4)
+        server.start()
+        total = 12
+        boxes = []
+        try:
+            for i in range(total):
+                client = f"c{i % 3}"
+                boxes.append(
+                    submit_request(
+                        server,
+                        "analyze",
+                        {"uri": f"mem:{client}", "text": CROSSED_SRC},
+                        id=i,
+                        client=client,
+                    )
+                )
+            for box in boxes:
+                assert box["done"].wait(timeout=300)
+        finally:
+            server.drain()
+        for i, box in enumerate(boxes):
+            reply = box["reply"]
+            assert reply["id"] == i
+            verdict = reply["result"]["report"]["deadlock"]["verdict"]
+            assert verdict == "possible-deadlock"
+        # Thread-safe counters: exact, not approximate.
+        assert server.session.counters["requests"] == total
+
+    def test_cancel_queued_request_answers_1004(self):
+        from repro.server.protocol import REQUEST_CANCELLED
+
+        server = AnalysisServer(session=Session(store=None), workers=1)
+        import threading
+
+        entered, release = threading.Event(), threading.Event()
+
+        def slow(params, client):
+            entered.set()
+            release.wait(timeout=30)
+            return {"slow": True}
+
+        server._handlers["lint"] = slow
+        server.start()
+        try:
+            first = submit_request(server, "lint", id=1)
+            assert entered.wait(timeout=30)
+            # Queued behind the blocked worker; then cancelled.
+            stale = submit_request(
+                server, "analyze", {"uri": "mem:a", "text": CROSSED_SRC}, id=2
+            )
+            cancel = submit_request(server, "cancel", {"id": 2}, id=3)
+            # cancel runs on the submitting thread: answered already,
+            # without waiting for the busy worker.
+            assert cancel["done"].wait(timeout=30)
+            assert cancel["reply"]["result"] == {
+                "id": 2,
+                "cancelled": True,
+                "state": "queued",
+            }
+            assert stale["done"].is_set()
+            assert (
+                stale["reply"]["error"]["code"] == REQUEST_CANCELLED
+            )
+            # The replacement is not blocked by the cancelled one.
+            fresh = submit_request(
+                server,
+                "analyze",
+                {"uri": "mem:a", "text": HANDSHAKE_SRC},
+                id=4,
+            )
+            release.set()
+            assert first["done"].wait(timeout=30)
+            assert fresh["done"].wait(timeout=300)
+            verdict = fresh["reply"]["result"]["report"]["deadlock"]["verdict"]
+            assert verdict == "certified-deadlock-free"
+        finally:
+            release.set()
+            server.drain()
+        assert server.session.counters["cancelled"] == 1
+
+    def test_cancel_in_flight_discards_result(self):
+        from repro.server.protocol import REQUEST_CANCELLED
+
+        server = AnalysisServer(session=Session(store=None), workers=1)
+        import threading
+
+        entered, release = threading.Event(), threading.Event()
+
+        def slow(params, client):
+            entered.set()
+            release.wait(timeout=30)
+            return {"slow": True}
+
+        server._handlers["lint"] = slow
+        server.start()
+        try:
+            running = submit_request(server, "lint", id=1)
+            assert entered.wait(timeout=30)
+            cancel = submit_request(server, "cancel", {"id": 1}, id=2)
+            assert cancel["reply"]["result"] == {
+                "id": 1,
+                "cancelled": True,
+                "state": "running",
+            }
+            release.set()
+            assert running["done"].wait(timeout=30)
+            # The handler finished, but the caller asked us not to
+            # deliver: the reply is the cancellation, not the result.
+            assert running["reply"]["error"]["code"] == REQUEST_CANCELLED
+        finally:
+            release.set()
+            server.drain()
+
+    def test_cancel_unknown_id_reports_false(self):
+        reply = rpc(make_server(), "cancel", {"id": 404})
+        assert reply["result"] == {
+            "id": 404,
+            "cancelled": False,
+            "state": "unknown",
+        }
+
+    def test_cancel_without_id_is_invalid_params(self):
+        reply = rpc(make_server(), "cancel", {})
+        assert reply["error"]["code"] == INVALID_PARAMS
+
+    def test_batch_yields_to_interactive(self):
+        server = AnalysisServer(session=Session(store=None), workers=1)
+        import threading
+
+        entered, release = threading.Event(), threading.Event()
+        order = []
+        order_lock = threading.Lock()
+
+        def slow(params, client):
+            entered.set()
+            release.wait(timeout=30)
+            return {"slow": True}
+
+        def quick(tag):
+            def handler(params, client):
+                with order_lock:
+                    order.append(tag)
+                return {"tag": tag}
+
+            return handler
+
+        server._handlers["lint"] = slow
+        server._handlers["batch"] = quick("batch")
+        server._handlers["analyze"] = quick("analyze")
+        server.start()
+        try:
+            first = submit_request(server, "lint", id=1)
+            assert entered.wait(timeout=30)
+            # batch arrives first, analyze second — analyze still wins.
+            batch = submit_request(server, "batch", id=2)
+            inter = submit_request(server, "analyze", id=3)
+            release.set()
+            for box in (first, batch, inter):
+                assert box["done"].wait(timeout=30)
+        finally:
+            release.set()
+            server.drain()
+        assert order == ["analyze", "batch"]
+
+    def test_drain_answers_everything_queued(self):
+        server = AnalysisServer(session=Session(store=None), workers=2)
+        server.start()
+        boxes = [
+            submit_request(server, "ping", id=i, client=f"c{i % 2}")
+            for i in range(10)
+        ]
+        server.drain()
+        for box in boxes:
+            assert box["done"].is_set()
+            assert box["reply"]["result"] == {"pong": True}
+
+    def test_submit_after_shutdown_answers_1003(self):
+        from repro.server.protocol import SHUTTING_DOWN
+
+        server = AnalysisServer(session=Session(store=None), workers=1)
+        server.shutting_down.set()
+        box = submit_request(server, "ping", id=1)
+        assert box["reply"]["error"]["code"] == SHUTTING_DOWN
+
+    def test_overflow_answers_server_busy(self):
+        from repro.server.protocol import SERVER_BUSY
+
+        # No workers started: the queue only fills.
+        server = AnalysisServer(
+            session=Session(store=None), queue_size=2, workers=1
+        )
+        submit_request(server, "ping", id=1)
+        submit_request(server, "ping", id=2)
+        box = submit_request(server, "ping", id=3)
+        assert box["reply"]["error"]["code"] == SERVER_BUSY
+        server.scheduler.close()
+
+
+# ---------------------------------------------------------------------------
+# per-client namespaces
+
+
+class TestClientNamespaces:
+    def test_same_uri_isolated_per_client(self):
+        session = Session(store=None)
+        session.open_document("mem:a", CROSSED_SRC, client="alice")
+        session.open_document("mem:a", HANDSHAKE_SRC, client="bob")
+        p1, _ = session.analyze_document(uri="mem:a", client="alice")
+        p2, _ = session.analyze_document(uri="mem:a", client="bob")
+        assert p1["deadlock"]["verdict"] == "possible-deadlock"
+        assert p2["deadlock"]["verdict"] == "certified-deadlock-free"
+        status = session.status()
+        assert status["clients"] == {
+            "alice": ["mem:a"],
+            "bob": ["mem:a"],
+        }
+        # The flat single-client view shows only the default namespace.
+        assert status["documents"] == []
+
+    def test_result_cache_crosses_namespaces(self):
+        session = Session(store=None)
+        _, c1 = session.analyze_document(
+            uri="mem:a", text=CROSSED_SRC, client="alice"
+        )
+        _, c2 = session.analyze_document(
+            uri="mem:b", text=CROSSED_SRC, client="bob"
+        )
+        # Content-addressed: bob is warm from alice's work.
+        assert (c1, c2) == ("computed", "memory")
+
+    def test_close_is_scoped_to_client(self):
+        session = Session(store=None)
+        session.open_document("mem:a", CROSSED_SRC, client="alice")
+        session.open_document("mem:a", CROSSED_SRC, client="bob")
+        assert session.close_document("mem:a", client="alice")
+        assert not session.close_document("mem:a", client="alice")
+        assert "mem:a" in session._docs("bob")
+
+    def test_request_client_field_routes_namespace(self):
+        server = make_server()
+        server.handle_line(
+            json.dumps(
+                {
+                    "id": 1,
+                    "method": "didOpen",
+                    "client": "alice",
+                    "params": {"uri": "mem:x", "text": CROSSED_SRC},
+                }
+            )
+        )
+        # bob never opened mem:x — different namespace, unknown doc.
+        bob = server.handle_line(
+            json.dumps(
+                {
+                    "id": 2,
+                    "method": "analyze",
+                    "client": "bob",
+                    "params": {"uri": "mem:x"},
+                }
+            )
+        )
+        assert bob["error"]["code"] == INVALID_PARAMS
+        alice = server.handle_line(
+            json.dumps(
+                {
+                    "id": 3,
+                    "method": "analyze",
+                    "client": "alice",
+                    "params": {"uri": "mem:x"},
+                }
+            )
+        )
+        assert alice["result"]["cache"] == "computed"
+
+    def test_non_string_client_rejected(self):
+        reply = make_server().handle_line(
+            '{"id": 1, "method": "ping", "client": 7, "params": {}}'
+        )
+        assert reply["error"]["code"] == INVALID_REQUEST
+
+
+# ---------------------------------------------------------------------------
+# the timeout bugfix: honored for every algorithm, not just exact
+
+
+class TestTimeoutHonored:
+    def test_refined_timeout_goes_through_pool(self, monkeypatch):
+        # Before the fix, ``timeout`` on a non-exact request was
+        # silently dropped (``if timeout is not None and is_exact``);
+        # now every budgeted request takes the preemptive pool path.
+        from repro.farm.pool import STATUS_TIMEOUT, WorkOutcome
+        from repro.server import session as session_mod
+
+        seen = {}
+
+        def fake_run_pool(items, jobs, timeout):
+            seen["jobs"], seen["timeout"] = jobs, timeout
+            return [
+                WorkOutcome(
+                    label=items[0].label,
+                    status=STATUS_TIMEOUT,
+                    error="timed out",
+                )
+            ]
+
+        monkeypatch.setattr(session_mod, "run_pool", fake_run_pool)
+        reply = rpc(
+            make_server(),
+            "analyze",
+            {
+                "uri": "mem:a",
+                "text": CROSSED_SRC,
+                "algorithm": "refined",
+                "timeout": 0.25,
+            },
+        )
+        assert reply["error"]["code"] == REQUEST_TIMEOUT
+        assert seen["jobs"] > 1
+        assert seen["timeout"] == 0.25
+
+    def test_refined_with_generous_timeout_completes(self):
+        reply = rpc(
+            make_server(),
+            "analyze",
+            {"uri": "mem:a", "text": CROSSED_SRC, "timeout": 120},
+        )
+        assert reply["result"]["cache"] == "computed"
+        verdict = reply["result"]["report"]["deadlock"]["verdict"]
+        assert verdict == "possible-deadlock"
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end: threading, namespaces, graceful SIGTERM
+
+
+def http_json(port, path="/rpc", body=None, headers=None, timeout=30):
+    import urllib.request
+
+    url = f"http://127.0.0.1:{port}{path}"
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    req = urllib.request.Request(
+        url, data=data, headers=dict(headers or {})
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+class TestHttpConcurrency:
+    def _serving(self, server):
+        import threading
+
+        from repro.server.httpd import make_http_server
+
+        httpd = make_http_server(server, port=0)
+        thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        thread.start()
+        return httpd, thread
+
+    def test_healthz_answers_during_slow_analyze(self):
+        import threading
+
+        # Regression: the single-threaded HTTPServer serialized
+        # /healthz behind a long /rpc analyze, so any health checker
+        # read a busy daemon as a dead one.
+        server = AnalysisServer(session=Session(store=None), workers=1)
+        entered, release = threading.Event(), threading.Event()
+
+        def slow(params, client):
+            entered.set()
+            release.wait(timeout=30)
+            return {"slow": True}
+
+        server._handlers["analyze"] = slow
+        server.start()
+        httpd, thread = self._serving(server)
+        port = httpd.server_address[1]
+        try:
+            poster = threading.Thread(
+                target=http_json,
+                args=(port,),
+                kwargs={
+                    "body": {"id": 1, "method": "analyze", "params": {}}
+                },
+                daemon=True,
+            )
+            poster.start()
+            assert entered.wait(timeout=30)
+            # The analyze is parked on a worker; liveness and status
+            # must still answer from their own connection threads.
+            assert http_json(port, "/healthz", timeout=5) == {"ok": True}
+            status = http_json(port, "/status", timeout=5)
+            assert status["server"]["busy"] == 1
+        finally:
+            release.set()
+            httpd.shutdown()
+            server.drain()
+            httpd.server_close()
+
+    def test_rpc_through_pool_and_client_header(self):
+        server = AnalysisServer(session=Session(store=None), workers=2)
+        server.start()
+        httpd, thread = self._serving(server)
+        port = httpd.server_address[1]
+        try:
+            opened = http_json(
+                port,
+                body={
+                    "id": 1,
+                    "method": "didOpen",
+                    "params": {"uri": "mem:x", "text": CROSSED_SRC},
+                },
+                headers={"X-Repro-Client": "alice"},
+            )
+            assert opened["result"]["opened"] is True
+            # Same URI, different namespace: bob cannot see it.
+            bob = http_json(
+                port,
+                body={
+                    "id": 2,
+                    "method": "analyze",
+                    "params": {"uri": "mem:x"},
+                },
+                headers={"X-Repro-Client": "bob"},
+            )
+            assert bob["error"]["code"] == INVALID_PARAMS
+            alice = http_json(
+                port,
+                body={
+                    "id": 3,
+                    "method": "analyze",
+                    "params": {"uri": "mem:x"},
+                },
+                headers={"X-Repro-Client": "alice"},
+            )
+            assert alice["result"]["cache"] == "computed"
+            # The body-level "client" field outranks the header.
+            body_wins = http_json(
+                port,
+                body={
+                    "id": 4,
+                    "method": "analyze",
+                    "client": "alice",
+                    "params": {"uri": "mem:x"},
+                },
+                headers={"X-Repro-Client": "bob"},
+            )
+            assert body_wins["result"]["cache"] == "memory"
+        finally:
+            httpd.shutdown()
+            server.drain()
+            httpd.server_close()
+
+    def test_sync_fallback_without_pool(self):
+        # make_http_server without start(): requests served on the
+        # connection thread, same payloads (older embedding pattern).
+        server = make_server()
+        httpd, thread = self._serving(server)
+        port = httpd.server_address[1]
+        try:
+            reply = http_json(
+                port,
+                body={
+                    "id": 1,
+                    "method": "analyze",
+                    "params": {"uri": "mem:a", "text": CROSSED_SRC},
+                },
+            )
+            assert reply["result"]["cache"] == "computed"
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+
+
+class TestHttpSigterm:
+    def test_sigterm_drains_flushes_and_exits_zero(self, tmp_path):
+        import signal as signal_mod
+        import socket
+        import time as time_mod
+        import urllib.error
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        env = dict(os.environ)
+        root = Path(__file__).parent.parent
+        env["PYTHONPATH"] = str(root / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.server",
+                "--http",
+                f"127.0.0.1:{port}",
+                "--workers",
+                "2",
+                "--cache-dir",
+                str(tmp_path),
+                "--verbose",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=root,
+        )
+        try:
+            deadline = time_mod.time() + 60
+            up = False
+            while time_mod.time() < deadline:
+                try:
+                    if http_json(port, "/healthz", timeout=2) == {
+                        "ok": True
+                    }:
+                        up = True
+                        break
+                except (urllib.error.URLError, OSError):
+                    time_mod.sleep(0.1)
+            assert up, "daemon never came up"
+            reply = http_json(
+                port,
+                body={
+                    "id": 1,
+                    "method": "analyze",
+                    "params": {"uri": "mem:a", "text": CROSSED_SRC},
+                },
+                timeout=120,
+            )
+            assert reply["result"]["cache"] == "computed"
+            proc.send_signal(signal_mod.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+        except BaseException:
+            proc.kill()
+            proc.communicate()
+            raise
+        # Graceful: exit 0, stdout untouched, verbose shutdown note
+        # confirming the drain-and-flush path actually ran.
+        assert proc.returncode == 0
+        assert out == ""
+        assert "stopped" in err
+        # Write-through store kept the analysis; a fresh daemon is warm.
+        assert list(tmp_path.glob("??/*.pkl"))
